@@ -1,0 +1,53 @@
+"""Ablation: similarity backends and sorting strategies for index construction.
+
+Not a figure of the paper, but it quantifies the two design choices the paper
+discusses in Sections 4.1.2 and 6.1:
+
+* merge-based similarity on the degree-oriented graph vs the hash-join of
+  Algorithm 1 vs dense matrix multiplication;
+* integer sort vs comparison sort for building the neighbor/core orders.
+"""
+
+from repro import ScanIndex
+from repro.bench import PARALLEL_WORKERS, format_table, load_dataset
+from repro.parallel import Scheduler
+
+
+def _build_work(graph, **kwargs) -> float:
+    scheduler = Scheduler(PARALLEL_WORKERS)
+    ScanIndex.build(graph, scheduler=scheduler, **kwargs)
+    return scheduler.counter.work
+
+
+def test_ablation_similarity_backends(benchmark, once):
+    graph = load_dataset("cochlea-like", "bench")
+
+    def run():
+        return {
+            "merge": _build_work(graph, backend="merge"),
+            "hash": _build_work(graph, backend="hash"),
+            "matmul": _build_work(graph, backend="matmul"),
+        }
+
+    work = once(benchmark, run)
+    print()
+    print(format_table(["backend", "construction work"], sorted(work.items())))
+    # The degree-oriented merge shares triangle work across edges, so it never
+    # does more work than the per-edge hash join.
+    assert work["merge"] <= work["hash"]
+
+
+def test_ablation_sorting_strategy(benchmark, once):
+    graph = load_dataset("orkut-like", "bench")
+
+    def run():
+        return {
+            "integer sort": _build_work(graph, use_integer_sort=True),
+            "comparison sort": _build_work(graph, use_integer_sort=False),
+        }
+
+    work = once(benchmark, run)
+    print()
+    print(format_table(["sorting", "construction work"], sorted(work.items())))
+    # Integer sorting the quantised similarity scores shaves the log n factor.
+    assert work["integer sort"] < work["comparison sort"]

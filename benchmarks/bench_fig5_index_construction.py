@@ -1,0 +1,35 @@
+"""Figure 5: index construction times with exact cosine similarity.
+
+Paper shape: the parallel index construction is 50-151x faster than GS*-Index
+and even the single-threaded run beats GS*-Index; the matrix-multiplication
+variant wins on the small dense (weighted) graphs.  Here the speedups come
+from the simulated work-span runtime, so the factors differ, but the ordering
+must hold.
+"""
+
+from repro.bench import (
+    DATASETS,
+    VARIANT_GS_INDEX,
+    VARIANT_PARALLEL,
+    VARIANT_SEQUENTIAL,
+    figure5_index_construction,
+)
+
+
+def test_fig5_index_construction(benchmark, once):
+    result = once(benchmark, figure5_index_construction)
+    print()
+    print(result.report())
+
+    measurements = result.extras["measurements"]
+    by_key = {(m.dataset, m.variant): m for m in measurements}
+    for name, spec in DATASETS.items():
+        parallel = by_key[(name, VARIANT_PARALLEL)].simulated_seconds
+        sequential = by_key[(name, VARIANT_SEQUENTIAL)].simulated_seconds
+        # Parallel construction is never slower than 1 thread.
+        assert parallel <= sequential
+        if not spec.weighted:
+            gs = by_key[(name, VARIANT_GS_INDEX)].simulated_seconds
+            # The parallel index beats GS*-Index, and even one thread does.
+            assert parallel < gs
+            assert sequential < gs

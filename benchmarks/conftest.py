@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+lifting lives in :mod:`repro.bench.experiments`; the benchmark functions call
+the drivers once (``rounds=1``) through pytest-benchmark so a timing record is
+kept, and print the paper-style rows so the shape of each result is visible in
+the captured output (`pytest benchmarks/ --benchmark-only -s` shows it live).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once` to the benchmark modules."""
+    return run_once

@@ -1,0 +1,31 @@
+"""repro: parallel index-based structural graph clustering (SCAN) and its approximation.
+
+A from-scratch Python reproduction of Tseng, Dhulipala and Shun,
+"Parallel Index-Based Structural Graph Clustering and Its Approximation"
+(SIGMOD 2021).  The top-level package re-exports the pieces most users need:
+
+* :class:`~repro.core.index.ScanIndex` -- build the index once, query
+  clusterings for any ``(mu, epsilon)``;
+* :class:`~repro.lsh.approximate.ApproximationConfig` -- switch index
+  construction to LSH-approximated similarities;
+* :class:`~repro.core.clustering.Clustering` -- the query result type;
+* the graph constructors and generators under :mod:`repro.graphs`.
+"""
+
+from .core.clustering import UNCLUSTERED, Clustering
+from .core.index import ScanIndex
+from .lsh.approximate import ApproximationConfig, compute_approximate_similarities
+from .similarity.exact import EdgeSimilarities, compute_similarities
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UNCLUSTERED",
+    "Clustering",
+    "ScanIndex",
+    "ApproximationConfig",
+    "EdgeSimilarities",
+    "compute_similarities",
+    "compute_approximate_similarities",
+    "__version__",
+]

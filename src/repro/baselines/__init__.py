@@ -1,0 +1,14 @@
+"""Baseline SCAN algorithms the paper compares against."""
+
+from .scan import find_core_vertices, scan_clustering
+from .gs_index import GsStarIndex
+from .pscan import PScanResult, PScanStats, pscan_clustering
+
+__all__ = [
+    "find_core_vertices",
+    "scan_clustering",
+    "GsStarIndex",
+    "PScanResult",
+    "PScanStats",
+    "pscan_clustering",
+]

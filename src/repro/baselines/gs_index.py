@@ -1,0 +1,216 @@
+"""Sequential GS*-Index (Wen et al., VLDB 2017), the paper's main baseline.
+
+GS*-Index builds the same neighbor order / core order structure as the
+parallel algorithm, but sequentially:
+
+* similarity scores are computed one edge at a time by intersecting the two
+  closed neighborhoods (no work sharing between the edges of a triangle, no
+  degree orientation), costing ``Σ_{u,v} min(d_u, d_v)`` dictionary probes;
+* each neighbor list and each ``CO[μ]`` list is sorted with an ordinary
+  comparison sort, adding the ``O(m log n)`` term of the original analysis;
+* queries run a sequential breadth-first search over the ε-similar core
+  subgraph, reading prefixes of the sorted orders.
+
+Everything is charged to a *sequential* scheduler (span = work), so that the
+benchmark harness can compare its simulated running time against the parallel
+index on equal footing, exactly as Figure 5 and Figures 6-7 of the paper do.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clustering import UNCLUSTERED, Clustering
+from ..graphs.graph import Graph
+from ..parallel.metrics import CostReport
+from ..parallel.scheduler import Scheduler, sequential_scheduler
+from ..similarity.exact import EdgeSimilarities
+from ..similarity.measures import MEASURES
+
+
+@dataclass
+class GsStarIndex:
+    """Sequentially constructed SCAN index (neighbor order + core order)."""
+
+    graph: Graph
+    similarities: EdgeSimilarities
+    #: neighbor_order[v] is an array of (neighbor, similarity) sorted by
+    #: non-increasing similarity.
+    neighbor_ids: list[np.ndarray]
+    neighbor_similarities: list[np.ndarray]
+    #: core_order[mu] is (vertices, thresholds) sorted by non-increasing threshold.
+    core_vertices_by_mu: list[np.ndarray]
+    core_thresholds_by_mu: list[np.ndarray]
+    construction_report: CostReport
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        *,
+        measure: str = "cosine",
+        scheduler: Scheduler | None = None,
+    ) -> "GsStarIndex":
+        """Build the index sequentially, mirroring the original algorithm."""
+        if measure not in MEASURES:
+            raise ValueError(f"unknown measure {measure!r}; expected one of {MEASURES}")
+        if graph.is_weighted and measure != "cosine":
+            raise ValueError("weighted graphs only support the (weighted) cosine measure")
+        scheduler = scheduler if scheduler is not None else sequential_scheduler()
+        started = time.perf_counter()
+
+        similarities = cls._sequential_similarities(graph, measure, scheduler)
+        arc_similarities = similarities.arc_values()
+
+        neighbor_ids: list[np.ndarray] = []
+        neighbor_similarities: list[np.ndarray] = []
+        for v in range(graph.num_vertices):
+            start, end = graph.arc_range(v)
+            values = arc_similarities[start:end]
+            neighbors = graph.indices[start:end]
+            # Sequential comparison sort of each list (O(d log d)).
+            order = np.lexsort((neighbors, -values))
+            degree = end - start
+            scheduler.charge(degree * (np.log2(degree) + 1.0) if degree else 1.0)
+            neighbor_ids.append(neighbors[order])
+            neighbor_similarities.append(values[order])
+
+        degrees = graph.degrees
+        max_mu = int(degrees.max(initial=0)) + 1 if graph.num_vertices else 1
+        core_vertices_by_mu: list[np.ndarray] = [np.zeros(0, dtype=np.int64)] * 2
+        core_thresholds_by_mu: list[np.ndarray] = [np.zeros(0, dtype=np.float64)] * 2
+        for mu in range(2, max_mu + 1):
+            members = np.flatnonzero(degrees >= mu - 1)
+            thresholds = np.array(
+                [neighbor_similarities[int(v)][mu - 2] for v in members], dtype=np.float64
+            )
+            order = np.lexsort((members, -thresholds))
+            count = members.shape[0]
+            scheduler.charge(count * (np.log2(count) + 1.0) if count else 1.0)
+            core_vertices_by_mu.append(members[order])
+            core_thresholds_by_mu.append(thresholds[order])
+
+        elapsed = time.perf_counter() - started
+        report = CostReport.from_counter(
+            label=f"gs*-index-construction[{measure}]",
+            counter=scheduler.counter,
+            wall_seconds=elapsed,
+            measure=measure,
+        )
+        return cls(
+            graph=graph,
+            similarities=similarities,
+            neighbor_ids=neighbor_ids,
+            neighbor_similarities=neighbor_similarities,
+            core_vertices_by_mu=core_vertices_by_mu,
+            core_thresholds_by_mu=core_thresholds_by_mu,
+            construction_report=report,
+        )
+
+    @staticmethod
+    def _sequential_similarities(
+        graph: Graph, measure: str, scheduler: Scheduler
+    ) -> EdgeSimilarities:
+        """Per-edge similarity computation without any cross-edge work sharing."""
+        neighbor_maps = [
+            dict(zip(graph.neighbors(v).tolist(), graph.neighbor_weights(v).tolist()))
+            for v in range(graph.num_vertices)
+        ]
+        scheduler.charge(graph.num_arcs)
+        if graph.arc_weights is None:
+            norms = np.sqrt(graph.degrees.astype(np.float64) + 1.0)
+        else:
+            squared = np.zeros(graph.num_vertices, dtype=np.float64)
+            np.add.at(squared, graph.arc_sources(), graph.arc_weights ** 2)
+            norms = np.sqrt(squared + 1.0)
+        scheduler.charge(graph.num_arcs + graph.num_vertices)
+
+        edge_u, edge_v = graph.edge_list()
+        values = np.zeros(graph.num_edges, dtype=np.float64)
+        weighted = graph.arc_weights is not None
+        for edge in range(graph.num_edges):
+            u, v = int(edge_u[edge]), int(edge_v[edge])
+            if graph.degree(u) > graph.degree(v):
+                u, v = v, u
+            table_v = neighbor_maps[v]
+            scheduler.charge(graph.degree(u) + 1)
+            numerator = 0.0
+            for x, w_ux in zip(graph.neighbors(u).tolist(), graph.neighbor_weights(u).tolist()):
+                w_vx = table_v.get(x)
+                if w_vx is not None:
+                    numerator += w_ux * w_vx
+            weight_uv = graph.edge_weight(u, v) if weighted else 1.0
+            numerator += 2.0 * weight_uv
+            if measure == "cosine":
+                values[edge] = numerator / (norms[u] * norms[v])
+            elif measure == "jaccard":
+                closed = (graph.degree(u) + 1) + (graph.degree(v) + 1)
+                values[edge] = numerator / (closed - numerator)
+            else:  # dice
+                closed = (graph.degree(u) + 1) + (graph.degree(v) + 1)
+                values[edge] = 2.0 * numerator / closed
+        return EdgeSimilarities(graph, values, measure)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def core_vertices(self, mu: int, epsilon: float, *, scheduler: Scheduler | None = None) -> np.ndarray:
+        """Core vertices under ``(mu, epsilon)`` via a scan of the CO[μ] prefix."""
+        if mu < 2:
+            raise ValueError(f"mu must be at least 2, got {mu}")
+        if mu >= len(self.core_vertices_by_mu):
+            return np.zeros(0, dtype=np.int64)
+        thresholds = self.core_thresholds_by_mu[mu]
+        count = int(np.searchsorted(-thresholds, -epsilon, side="right"))
+        if scheduler is not None:
+            scheduler.charge(count + np.log2(max(count, 2)))
+        return self.core_vertices_by_mu[mu][:count]
+
+    def query(
+        self,
+        mu: int,
+        epsilon: float,
+        *,
+        scheduler: Scheduler | None = None,
+    ) -> Clustering:
+        """Sequential BFS clustering query, as in the original GS*-Index."""
+        scheduler = scheduler if scheduler is not None else sequential_scheduler()
+        n = self.graph.num_vertices
+        labels = np.full(n, UNCLUSTERED, dtype=np.int64)
+        core_mask = np.zeros(n, dtype=bool)
+
+        cores = self.core_vertices(mu, epsilon, scheduler=scheduler)
+        if cores.size == 0:
+            return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
+        core_mask[cores] = True
+
+        next_cluster = 0
+        for source in cores:
+            source = int(source)
+            if labels[source] != UNCLUSTERED:
+                continue
+            cluster_id = next_cluster
+            next_cluster += 1
+            labels[source] = cluster_id
+            queue: deque[int] = deque([source])
+            while queue:
+                vertex = queue.popleft()
+                neighbors = self.neighbor_ids[vertex]
+                values = self.neighbor_similarities[vertex]
+                count = int(np.searchsorted(-values, -epsilon, side="right"))
+                scheduler.charge(count + 1)
+                for neighbor in neighbors[:count]:
+                    neighbor = int(neighbor)
+                    if labels[neighbor] != UNCLUSTERED:
+                        continue
+                    labels[neighbor] = cluster_id
+                    if core_mask[neighbor]:
+                        queue.append(neighbor)
+        return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)

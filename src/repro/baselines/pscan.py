@@ -1,0 +1,192 @@
+"""pSCAN / ppSCAN-style pruning-based SCAN for a fixed parameter setting.
+
+pSCAN (Chang et al. 2017) and its parallelisation ppSCAN (Che et al. 2018)
+answer a *single* ``(μ, ε)`` query quickly by avoiding similarity
+computations that cannot change the outcome.  Two counters are kept per
+vertex:
+
+* ``effective_degree`` -- an upper bound on the size of the closed
+  ε-neighborhood (starts at ``degree + 1`` and decreases every time an
+  incident edge is found to be dissimilar);
+* ``similar_degree`` -- a lower bound (starts at 1 for the vertex itself and
+  increases every time an incident edge is found to be ε-similar).
+
+A vertex's core-ness is decided as soon as ``similar_degree >= μ`` or
+``effective_degree < μ``, so many edges are never evaluated.  Cores are then
+clustered with union-find over the ε-similar core-core edges, and border
+vertices are attached to a neighboring core's cluster.
+
+The implementation below keeps a per-edge cache of evaluated similarities so
+each edge is computed at most once, records how many evaluations were
+actually performed (``stats.similarity_evaluations``), and charges its work to
+the supplied scheduler; the outer per-vertex loops are the part ppSCAN runs
+in parallel, so they are charged as parallel loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.clustering import UNCLUSTERED, Clustering
+from ..graphs.graph import Graph
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from ..parallel.unionfind import UnionFind
+from ..similarity.measures import edge_similarity_reference
+
+
+@dataclass
+class PScanStats:
+    """Counters describing how much work the pruning avoided."""
+
+    similarity_evaluations: int = 0
+    total_edges: int = 0
+
+    @property
+    def evaluated_fraction(self) -> float:
+        """Fraction of edges whose similarity was actually computed."""
+        if self.total_edges == 0:
+            return 0.0
+        return self.similarity_evaluations / self.total_edges
+
+
+@dataclass
+class PScanResult:
+    """Clustering plus pruning statistics returned by :func:`pscan_clustering`."""
+
+    clustering: Clustering
+    stats: PScanStats = field(default_factory=PScanStats)
+
+
+class _SimilarityOracle:
+    """Lazily evaluated, cached per-edge similarity with work accounting."""
+
+    def __init__(self, graph: Graph, measure: str, scheduler: Scheduler) -> None:
+        self._graph = graph
+        self._measure = measure
+        self._scheduler = scheduler
+        self._cache: dict[int, float] = {}
+        self.evaluations = 0
+        if measure == "cosine" and not graph.is_weighted:
+            self._norms = np.sqrt(graph.degrees.astype(np.float64) + 1.0)
+        else:
+            self._norms = None
+
+    def similarity(self, u: int, v: int) -> float:
+        edge = self._graph.edge_id(u, v)
+        cached = self._cache.get(edge)
+        if cached is not None:
+            return cached
+        cost = min(self._graph.degree(u), self._graph.degree(v)) + 1
+        self._scheduler.charge(cost, ceil_log2(max(cost, 1)) + 1.0)
+        if self._norms is not None:
+            # Fast path for the common case (unweighted cosine): intersect the
+            # sorted neighbor lists and add the two closed-neighborhood terms.
+            shared = np.intersect1d(
+                self._graph.neighbors(u), self._graph.neighbors(v), assume_unique=True
+            ).shape[0]
+            value = (shared + 2.0) / (self._norms[u] * self._norms[v])
+        else:
+            value = edge_similarity_reference(self._graph, u, v, self._measure)
+        self._cache[edge] = value
+        self.evaluations += 1
+        return value
+
+
+def pscan_clustering(
+    graph: Graph,
+    mu: int,
+    epsilon: float,
+    *,
+    measure: str = "cosine",
+    scheduler: Scheduler | None = None,
+) -> PScanResult:
+    """Pruning-based SCAN clustering for a single ``(mu, epsilon)`` setting."""
+    if mu < 2:
+        raise ValueError(f"mu must be at least 2, got {mu}")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    n = graph.num_vertices
+    oracle = _SimilarityOracle(graph, measure, scheduler)
+
+    effective_degree = graph.degrees.astype(np.int64) + 1
+    similar_degree = np.ones(n, dtype=np.int64)
+    core_known = np.zeros(n, dtype=bool)
+    is_core = np.zeros(n, dtype=bool)
+    # Evaluation state per arc position avoids re-checking decided edges.
+    evaluated = np.zeros(graph.num_arcs, dtype=bool)
+
+    def check_core(vertex: int) -> None:
+        """Evaluate incident edges of ``vertex`` until its core-ness is decided."""
+        if core_known[vertex]:
+            return
+        if similar_degree[vertex] >= mu:
+            core_known[vertex] = True
+            is_core[vertex] = True
+            return
+        if effective_degree[vertex] < mu:
+            core_known[vertex] = True
+            return
+        start, end = graph.arc_range(vertex)
+        for position in range(start, end):
+            if evaluated[position]:
+                continue
+            neighbor = int(graph.indices[position])
+            value = oracle.similarity(vertex, neighbor)
+            evaluated[position] = True
+            if value >= epsilon:
+                similar_degree[vertex] += 1
+            else:
+                effective_degree[vertex] -= 1
+            if similar_degree[vertex] >= mu:
+                core_known[vertex] = True
+                is_core[vertex] = True
+                return
+            if effective_degree[vertex] < mu:
+                core_known[vertex] = True
+                return
+        core_known[vertex] = True
+        is_core[vertex] = similar_degree[vertex] >= mu
+
+    # Phase 1 (parallel in ppSCAN): decide core-ness of every vertex.
+    scheduler.parallel_for(n, check_core)
+
+    # Phase 2: cluster cores with union-find over ε-similar core-core edges.
+    forest = UnionFind(n)
+    edge_u, edge_v = graph.edge_list()
+    core_core = is_core[edge_u] & is_core[edge_v]
+    core_edges = np.flatnonzero(core_core)
+    scheduler.charge(int(core_edges.size), ceil_log2(max(int(core_edges.size), 1)) + 1.0)
+    for edge in core_edges:
+        u, v = int(edge_u[edge]), int(edge_v[edge])
+        # Pruning: skip the similarity evaluation when already clustered together.
+        if forest.connected(u, v):
+            continue
+        if oracle.similarity(u, v) >= epsilon:
+            forest.union(u, v)
+
+    labels = np.full(n, UNCLUSTERED, dtype=np.int64)
+    cores = np.flatnonzero(is_core)
+    if cores.size:
+        labels[cores] = forest.find_batch(scheduler, cores)
+
+    # Phase 3: attach border (non-core) vertices to a neighboring core's cluster.
+    def attach_border(position: int) -> None:
+        core = int(cores[position])
+        for neighbor in graph.neighbors(core):
+            neighbor = int(neighbor)
+            if is_core[neighbor] or labels[neighbor] != UNCLUSTERED:
+                continue
+            if oracle.similarity(core, neighbor) >= epsilon:
+                labels[neighbor] = labels[core]
+
+    scheduler.parallel_for(int(cores.size), attach_border)
+
+    clustering = Clustering(labels, is_core, mu=mu, epsilon=epsilon)
+    stats = PScanStats(
+        similarity_evaluations=oracle.evaluations, total_edges=graph.num_edges
+    )
+    return PScanResult(clustering=clustering, stats=stats)

@@ -1,0 +1,186 @@
+"""Synthetic stand-ins for the paper's six evaluation graphs (Table 2).
+
+The paper's graphs range from 70 million to 1.8 billion edges; at that size a
+pure-Python reproduction is not feasible, so the benchmark harness runs on
+synthetic graphs that preserve the *structural regime* of each original:
+
+==================  ============================  ==========================
+paper graph         structural regime             stand-in generator
+==================  ============================  ==========================
+Orkut               social network, strong        planted partition
+                    communities, moderate degree
+brain               extremely dense neighborhoods  dense planted partition
+                    (large arboricity)
+WebBase             web crawl, hub-dominated       hub-and-spoke web graph
+                    heavy-tailed degrees
+Friendster          social network, larger and     planted partition (sparser
+                    sparser than Orkut             intra-cluster)
+blood vessel        dense weighted functional      dense weighted association
+                    association network
+cochlea             denser weighted functional     dense weighted association
+                    association network            (higher density)
+==================  ============================  ==========================
+
+Two scales are provided: ``"tiny"`` for unit/integration tests and
+``"bench"`` (default) for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graphs.generators import (
+    dense_clustered_graph,
+    dense_weighted_association,
+    hub_and_spoke_web,
+    paper_example_graph,
+    planted_partition,
+)
+from ..graphs.graph import Graph
+from ..graphs.properties import GraphSummary
+
+#: Scales accepted by the dataset loaders.
+SCALES = ("tiny", "bench")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark dataset: how to build it and what it stands in for."""
+
+    name: str
+    paper_name: str
+    paper_vertices: int
+    paper_edges: int
+    weighted: bool
+    description: str
+    _loader: Callable[[str], Graph]
+
+    def load(self, scale: str = "bench") -> Graph:
+        """Build the stand-in graph at the requested scale."""
+        if scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+        return self._loader(scale)
+
+
+def _orkut_like(scale: str) -> Graph:
+    if scale == "tiny":
+        return planted_partition(5, 30, p_intra=0.3, p_inter=0.01, seed=11)
+    return planted_partition(20, 100, p_intra=0.3, p_inter=0.003, seed=11)
+
+
+def _brain_like(scale: str) -> Graph:
+    if scale == "tiny":
+        return dense_clustered_graph(4, 25, p_intra=0.8, p_inter=0.02, seed=12)
+    return dense_clustered_graph(8, 60, p_intra=0.8, p_inter=0.02, seed=12)
+
+
+def _webbase_like(scale: str) -> Graph:
+    if scale == "tiny":
+        return hub_and_spoke_web(10, 15, cross_link_probability=0.002,
+                                 intra_hub_probability=0.15, seed=13)
+    return hub_and_spoke_web(40, 40, cross_link_probability=0.0005,
+                             intra_hub_probability=0.12, seed=13)
+
+
+def _friendster_like(scale: str) -> Graph:
+    if scale == "tiny":
+        return planted_partition(6, 25, p_intra=0.25, p_inter=0.01, seed=14)
+    return planted_partition(30, 80, p_intra=0.25, p_inter=0.002, seed=14)
+
+
+def _blood_vessel_like(scale: str) -> Graph:
+    if scale == "tiny":
+        return dense_weighted_association(80, num_modules=4, density=0.35, seed=15)
+    return dense_weighted_association(300, num_modules=5, density=0.35, seed=15)
+
+
+def _cochlea_like(scale: str) -> Graph:
+    if scale == "tiny":
+        return dense_weighted_association(90, num_modules=5, density=0.5, seed=16)
+    return dense_weighted_association(350, num_modules=6, density=0.5, seed=16)
+
+
+#: Registry of the six stand-in datasets, keyed by their short names.
+DATASETS: dict[str, DatasetSpec] = {
+    "orkut-like": DatasetSpec(
+        name="orkut-like",
+        paper_name="Orkut",
+        paper_vertices=3_072_441,
+        paper_edges=117_185_083,
+        weighted=False,
+        description="social network with pronounced communities",
+        _loader=_orkut_like,
+    ),
+    "brain-like": DatasetSpec(
+        name="brain-like",
+        paper_name="brain",
+        paper_vertices=784_262,
+        paper_edges=267_844_669,
+        weighted=False,
+        description="very dense neighborhoods, large arboricity",
+        _loader=_brain_like,
+    ),
+    "webbase-like": DatasetSpec(
+        name="webbase-like",
+        paper_name="WebBase",
+        paper_vertices=118_142_155,
+        paper_edges=854_809_761,
+        weighted=False,
+        description="web crawl, hub-dominated heavy-tailed degrees",
+        _loader=_webbase_like,
+    ),
+    "friendster-like": DatasetSpec(
+        name="friendster-like",
+        paper_name="Friendster",
+        paper_vertices=65_608_366,
+        paper_edges=1_806_067_135,
+        weighted=False,
+        description="larger, sparser social network",
+        _loader=_friendster_like,
+    ),
+    "blood-vessel-like": DatasetSpec(
+        name="blood-vessel-like",
+        paper_name="blood vessel",
+        paper_vertices=25_825,
+        paper_edges=70_240_269,
+        weighted=True,
+        description="dense weighted functional association network",
+        _loader=_blood_vessel_like,
+    ),
+    "cochlea-like": DatasetSpec(
+        name="cochlea-like",
+        paper_name="cochlea",
+        paper_vertices=25_825,
+        paper_edges=282_977_319,
+        weighted=True,
+        description="denser weighted functional association network",
+        _loader=_cochlea_like,
+    ),
+}
+
+#: The unweighted datasets (GS*-Index and ppSCAN only run on these, as in the paper).
+UNWEIGHTED_DATASETS = tuple(
+    name for name, spec in DATASETS.items() if not spec.weighted
+)
+#: The weighted datasets.
+WEIGHTED_DATASETS = tuple(name for name, spec in DATASETS.items() if spec.weighted)
+
+
+def load_dataset(name: str, scale: str = "bench") -> Graph:
+    """Load a stand-in dataset by short name."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[name].load(scale)
+
+
+def dataset_summaries(scale: str = "bench") -> list[GraphSummary]:
+    """Table-2-style summary of every stand-in dataset at the given scale."""
+    return [
+        GraphSummary.of(spec.name, spec.load(scale)) for spec in DATASETS.values()
+    ]
+
+
+def paper_example() -> Graph:
+    """The 11-vertex worked example of Figures 1-3."""
+    return paper_example_graph()

@@ -1,0 +1,204 @@
+"""Measurement harness shared by all benchmark drivers.
+
+The harness runs one algorithm variant, records both the measured wall-clock
+time and the work/span charged to its scheduler, and converts the latter into
+the *simulated running time* on a given number of processors (Brent's bound,
+see :mod:`repro.parallel.metrics`).  The variant names follow the paper's
+plots:
+
+* ``GBBSIndexSCAN (48 cores)`` -- the parallel index algorithm on the paper's
+  machine size (96 hyper-threads are modelled as 48 two-way cores; we use the
+  hyper-thread count as the worker count, as the paper's speedups do);
+* ``GBBSIndexSCAN (1 thread)`` -- the same algorithm restricted to a single
+  worker;
+* ``GBBSIndexSCAN-MM`` -- the matrix-multiplication similarity backend;
+* ``GS*-Index (1 thread)`` -- the sequential baseline;
+* ``ppSCAN (48 cores)`` -- the pruning-based per-query parallel baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..baselines.gs_index import GsStarIndex
+from ..baselines.pscan import pscan_clustering
+from ..core.index import ScanIndex
+from ..graphs.graph import Graph
+from ..lsh.approximate import ApproximationConfig
+from ..parallel.scheduler import PAPER_NUM_THREADS, Scheduler
+
+#: Worker count modelling the paper's 48-core / 96-hyper-thread machine.
+PARALLEL_WORKERS = PAPER_NUM_THREADS
+#: Worker count of the sequential runs.
+SEQUENTIAL_WORKERS = 1
+
+VARIANT_PARALLEL = "GBBSIndexSCAN (48 cores)"
+VARIANT_SEQUENTIAL = "GBBSIndexSCAN (1 thread)"
+VARIANT_MATMUL = "GBBSIndexSCAN-MM (48 cores)"
+VARIANT_GS_INDEX = "GS*-Index (1 thread)"
+VARIANT_PPSCAN = "ppSCAN (48 cores)"
+
+
+@dataclass
+class MeasurementRow:
+    """One measured (dataset, variant) data point."""
+
+    dataset: str
+    variant: str
+    simulated_seconds: float
+    wall_seconds: float
+    work: float
+    span: float
+    details: dict = field(default_factory=dict)
+
+    def as_row(self) -> list:
+        """Row used by the text reports."""
+        return [
+            self.dataset,
+            self.variant,
+            self.simulated_seconds,
+            self.wall_seconds,
+            self.work,
+            self.span,
+        ]
+
+
+ROW_HEADERS = ["dataset", "variant", "simulated_s", "wall_s", "work", "span"]
+
+
+def measure(
+    dataset: str,
+    variant: str,
+    num_workers: int,
+    run: Callable[[Scheduler], object],
+    **details,
+) -> MeasurementRow:
+    """Run ``run`` with a fresh scheduler and record its costs."""
+    scheduler = Scheduler(num_workers)
+    started = time.perf_counter()
+    result = run(scheduler)
+    wall = time.perf_counter() - started
+    row = MeasurementRow(
+        dataset=dataset,
+        variant=variant,
+        simulated_seconds=scheduler.simulated_time(),
+        wall_seconds=wall,
+        work=scheduler.counter.work,
+        span=scheduler.counter.span,
+        details={"result": result, **details},
+    )
+    return row
+
+
+# ----------------------------------------------------------------------
+# Index construction measurements (Figure 5, Figure 8)
+# ----------------------------------------------------------------------
+def measure_index_construction(
+    dataset: str,
+    graph: Graph,
+    *,
+    measure_name: str = "cosine",
+    include_matmul: bool | None = None,
+    approximate: ApproximationConfig | None = None,
+) -> list[MeasurementRow]:
+    """Construction-time rows for the paper's index-construction comparison.
+
+    ``include_matmul`` defaults to running the matrix-multiplication variant
+    only when the graph is small enough for its dense adjacency matrix to be
+    reasonable (the paper likewise only runs it on the two small dense
+    graphs).
+    """
+    if include_matmul is None:
+        include_matmul = graph.num_vertices <= 2000
+
+    rows: list[MeasurementRow] = []
+
+    def build_parallel(scheduler: Scheduler) -> ScanIndex:
+        return ScanIndex.build(
+            graph,
+            measure=measure_name,
+            backend="merge",
+            approximate=approximate,
+            scheduler=scheduler,
+        )
+
+    rows.append(measure(dataset, VARIANT_PARALLEL, PARALLEL_WORKERS, build_parallel))
+    rows.append(measure(dataset, VARIANT_SEQUENTIAL, SEQUENTIAL_WORKERS, build_parallel))
+
+    if approximate is None:
+        def build_gs(scheduler: Scheduler) -> GsStarIndex:
+            return GsStarIndex.build(graph, measure=measure_name, scheduler=scheduler)
+
+        rows.append(measure(dataset, VARIANT_GS_INDEX, SEQUENTIAL_WORKERS, build_gs))
+
+        if include_matmul:
+            def build_matmul(scheduler: Scheduler) -> ScanIndex:
+                return ScanIndex.build(
+                    graph, measure=measure_name, backend="matmul", scheduler=scheduler
+                )
+
+            rows.append(measure(dataset, VARIANT_MATMUL, PARALLEL_WORKERS, build_matmul))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Query measurements (Figures 6 and 7)
+# ----------------------------------------------------------------------
+def measure_query(
+    dataset: str,
+    graph: Graph,
+    index: ScanIndex,
+    gs_index: GsStarIndex | None,
+    mu: int,
+    epsilon: float,
+    *,
+    include_ppscan: bool = True,
+) -> list[MeasurementRow]:
+    """Query-time rows for one ``(μ, ε)`` setting."""
+    rows: list[MeasurementRow] = []
+
+    def run_index(scheduler: Scheduler):
+        return index.query(mu, epsilon, scheduler=scheduler)
+
+    rows.append(
+        measure(dataset, VARIANT_PARALLEL, PARALLEL_WORKERS, run_index, mu=mu, epsilon=epsilon)
+    )
+    rows.append(
+        measure(dataset, VARIANT_SEQUENTIAL, SEQUENTIAL_WORKERS, run_index, mu=mu, epsilon=epsilon)
+    )
+
+    if gs_index is not None:
+        def run_gs(scheduler: Scheduler):
+            return gs_index.query(mu, epsilon, scheduler=scheduler)
+
+        rows.append(
+            measure(dataset, VARIANT_GS_INDEX, SEQUENTIAL_WORKERS, run_gs, mu=mu, epsilon=epsilon)
+        )
+
+    if include_ppscan:
+        def run_ppscan(scheduler: Scheduler):
+            return pscan_clustering(graph, mu, epsilon, scheduler=scheduler)
+
+        rows.append(
+            measure(dataset, VARIANT_PPSCAN, PARALLEL_WORKERS, run_ppscan, mu=mu, epsilon=epsilon)
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Aggregation helpers
+# ----------------------------------------------------------------------
+def speedup(rows: list[MeasurementRow], baseline_variant: str, target_variant: str) -> float:
+    """Simulated-time speedup of ``target_variant`` over ``baseline_variant``."""
+    baseline = [row for row in rows if row.variant == baseline_variant]
+    target = [row for row in rows if row.variant == target_variant]
+    if not baseline or not target:
+        raise ValueError("both variants must be present in the rows")
+    return baseline[0].simulated_seconds / max(target[0].simulated_seconds, 1e-12)
+
+
+def rows_as_table(rows: list[MeasurementRow]) -> tuple[list[str], list[list]]:
+    """Headers plus plain rows for :func:`repro.bench.reporting.format_table`."""
+    return ROW_HEADERS, [row.as_row() for row in rows]

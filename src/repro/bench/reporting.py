@@ -1,0 +1,56 @@
+"""Plain-text table and series formatting for the experiment harness.
+
+The paper reports its evaluation as bar charts (Figure 5, 8), line plots
+(Figures 6, 7, 9, 10) and tables (Tables 1, 2).  The harness renders each of
+them as aligned text tables -- one row per bar / point -- so the shape of the
+result (who wins, by what factor, where curves cross) can be read directly
+from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_value(value) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence],
+) -> str:
+    """Render one figure's data: an x column plus one column per named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for position, x in enumerate(x_values):
+        row = [x] + [values[position] for values in series.values()]
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"

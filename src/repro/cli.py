@@ -1,0 +1,133 @@
+"""Command-line interface: inspect datasets and regenerate the paper's experiments.
+
+Usage (after installation)::
+
+    python -m repro datasets                 # Table-2-style summary of the stand-ins
+    python -m repro experiments              # list available experiment drivers
+    python -m repro run figure5              # regenerate one table/figure
+    python -m repro run figure6 --scale tiny --datasets orkut-like webbase-like
+    python -m repro cluster edges.txt --mu 5 --epsilon 0.6   # cluster your own graph
+
+The ``run`` subcommand prints the same rows the benchmark suite produces, so
+a single figure can be reproduced without going through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench.datasets import DATASETS, SCALES, dataset_summaries
+from .bench.experiments import ALL_EXPERIMENTS
+from .bench.reporting import format_table
+from .core.index import ScanIndex
+from .graphs.io import read_edge_list
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            summary.name,
+            DATASETS[summary.name].paper_name,
+            summary.num_vertices,
+            summary.num_edges,
+            "weighted" if summary.weighted else "unweighted",
+            summary.max_degree,
+            round(summary.average_degree, 1),
+        ]
+        for summary in dataset_summaries(args.scale)
+    ]
+    print(format_table(
+        ["dataset", "stands in for", "vertices", "edges", "type", "max deg", "avg deg"],
+        rows,
+    ))
+    return 0
+
+
+def _command_experiments(_: argparse.Namespace) -> int:
+    rows = [
+        [name, (driver.__doc__ or "").strip().splitlines()[0]]
+        for name, driver in sorted(ALL_EXPERIMENTS.items())
+    ]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    driver = ALL_EXPERIMENTS.get(args.experiment)
+    if driver is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"available: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.experiment not in ("table1",):
+        kwargs["scale"] = args.scale
+    if args.datasets and args.experiment not in ("table1", "table2"):
+        kwargs["datasets"] = tuple(args.datasets)
+    result = driver(**kwargs)
+    print(result.report())
+    return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    index = ScanIndex.build(graph, measure=args.measure)
+    clustering = index.query(
+        args.mu, args.epsilon, deterministic_borders=True, classify_hubs_and_outliers=True
+    )
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"parameters: mu={args.mu}, epsilon={args.epsilon}, measure={args.measure}")
+    print(f"clusters: {clustering.num_clusters}  "
+          f"clustered vertices: {clustering.num_clustered_vertices}  "
+          f"hubs: {clustering.hubs().size}  outliers: {clustering.outliers().size}")
+    rows = [
+        [cluster_id, members.size, " ".join(map(str, members[:12].tolist()))
+         + (" ..." if members.size > 12 else "")]
+        for cluster_id, members in sorted(clustering.clusters().items())
+    ]
+    print(format_table(["cluster", "size", "members"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel index-based structural graph clustering (SCAN) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="summarise the stand-in datasets")
+    datasets.add_argument("--scale", choices=SCALES, default="bench")
+    datasets.set_defaults(handler=_command_datasets)
+
+    experiments = subparsers.add_parser("experiments", help="list experiment drivers")
+    experiments.set_defaults(handler=_command_experiments)
+
+    run = subparsers.add_parser("run", help="run one table/figure experiment")
+    run.add_argument("experiment", help="experiment name, e.g. figure5")
+    run.add_argument("--scale", choices=SCALES, default="bench")
+    run.add_argument("--datasets", nargs="*", default=None,
+                     help="subset of dataset names (default: all six)")
+    run.set_defaults(handler=_command_run)
+
+    cluster = subparsers.add_parser("cluster", help="cluster an edge-list file with SCAN")
+    cluster.add_argument("graph", help="path to an edge-list file (u v [weight] per line)")
+    cluster.add_argument("--mu", type=int, default=5)
+    cluster.add_argument("--epsilon", type=float, default=0.6)
+    cluster.add_argument("--measure", choices=("cosine", "jaccard", "dice"), default="cosine")
+    cluster.set_defaults(handler=_command_cluster)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

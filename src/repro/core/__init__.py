@@ -1,0 +1,24 @@
+"""The paper's core contribution: the parallel index-based SCAN algorithm."""
+
+from .clustering import UNCLUSTERED, Clustering
+from .doubling import prefix_length_at_least, prefix_length_greater_than
+from .neighbor_order import NeighborOrder, build_neighbor_order
+from .core_order import CoreOrder, build_core_order
+from .query import cluster, get_cores
+from .hubs import classify_unclustered
+from .index import ScanIndex
+
+__all__ = [
+    "UNCLUSTERED",
+    "Clustering",
+    "prefix_length_at_least",
+    "prefix_length_greater_than",
+    "NeighborOrder",
+    "build_neighbor_order",
+    "CoreOrder",
+    "build_core_order",
+    "cluster",
+    "get_cores",
+    "classify_unclustered",
+    "ScanIndex",
+]

@@ -1,0 +1,154 @@
+"""The result type returned by SCAN clusterings.
+
+A SCAN clustering partitions *some* of the vertices into clusters and leaves
+the rest unclustered; unclustered vertices are further split into *hubs*
+(neighbors of at least two distinct clusters) and *outliers* (everything
+else).  :class:`Clustering` captures all of that in flat numpy arrays so that
+quality measures and comparisons stay vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Label used for vertices that belong to no cluster.
+UNCLUSTERED = -1
+
+
+@dataclass
+class Clustering:
+    """A (partial) clustering of the vertices ``0 .. n-1``.
+
+    Attributes
+    ----------
+    labels:
+        int64 array of length ``n``; ``labels[v]`` is the cluster id of ``v``
+        or :data:`UNCLUSTERED`.  Cluster ids are arbitrary but consistent.
+    core_mask:
+        Boolean array marking the core vertices of the clustering.
+    mu, epsilon:
+        The SCAN parameters the clustering was computed with.
+    hub_mask, outlier_mask:
+        Optional boolean arrays produced by hub/outlier classification; both
+        all-False until :func:`repro.core.hubs.classify_unclustered` runs.
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    mu: int = 2
+    epsilon: float = 0.0
+    hub_mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+    outlier_mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.core_mask = np.asarray(self.core_mask, dtype=bool)
+        if self.labels.shape != self.core_mask.shape:
+            raise ValueError("labels and core_mask must have the same length")
+        n = self.labels.shape[0]
+        if self.hub_mask is None:
+            self.hub_mask = np.zeros(n, dtype=bool)
+        if self.outlier_mask is None:
+            self.outlier_mask = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the clustering is defined over."""
+        return int(self.labels.shape[0])
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct (non-empty) clusters."""
+        clustered = self.labels[self.labels != UNCLUSTERED]
+        if clustered.size == 0:
+            return 0
+        return int(np.unique(clustered).shape[0])
+
+    @property
+    def num_clustered_vertices(self) -> int:
+        """Number of vertices assigned to some cluster."""
+        return int(np.count_nonzero(self.labels != UNCLUSTERED))
+
+    def is_clustered(self, v: int) -> bool:
+        """True when vertex ``v`` belongs to a cluster."""
+        return bool(self.labels[v] != UNCLUSTERED)
+
+    def is_core(self, v: int) -> bool:
+        """True when vertex ``v`` is a core vertex."""
+        return bool(self.core_mask[v])
+
+    def cluster_of(self, v: int) -> int | None:
+        """Cluster id of ``v``, or ``None`` when unclustered."""
+        label = int(self.labels[v])
+        return None if label == UNCLUSTERED else label
+
+    def unclustered_vertices(self) -> np.ndarray:
+        """Ids of all unclustered vertices."""
+        return np.flatnonzero(self.labels == UNCLUSTERED)
+
+    def core_vertices(self) -> np.ndarray:
+        """Ids of all core vertices."""
+        return np.flatnonzero(self.core_mask)
+
+    def hubs(self) -> np.ndarray:
+        """Ids of vertices classified as hubs (empty until classification runs)."""
+        return np.flatnonzero(self.hub_mask)
+
+    def outliers(self) -> np.ndarray:
+        """Ids of vertices classified as outliers (empty until classification runs)."""
+        return np.flatnonzero(self.outlier_mask)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def clusters(self) -> dict[int, np.ndarray]:
+        """Mapping from cluster id to the sorted array of its members."""
+        result: dict[int, np.ndarray] = {}
+        clustered = self.labels != UNCLUSTERED
+        for label in np.unique(self.labels[clustered]):
+            result[int(label)] = np.flatnonzero(self.labels == label)
+        return result
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes of the clusters, sorted descending."""
+        clustered = self.labels[self.labels != UNCLUSTERED]
+        if clustered.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        _, counts = np.unique(clustered, return_counts=True)
+        return np.sort(counts)[::-1]
+
+    def canonical_labels(self) -> np.ndarray:
+        """Labels renumbered to ``0 .. k-1`` in order of first appearance.
+
+        Unclustered vertices keep :data:`UNCLUSTERED`.  Two clusterings that
+        induce the same partition have identical canonical labels.
+        """
+        canonical = np.full(self.num_vertices, UNCLUSTERED, dtype=np.int64)
+        next_id = 0
+        seen: dict[int, int] = {}
+        for v in range(self.num_vertices):
+            label = int(self.labels[v])
+            if label == UNCLUSTERED:
+                continue
+            if label not in seen:
+                seen[label] = next_id
+                next_id += 1
+            canonical[v] = seen[label]
+        return canonical
+
+    def same_partition_as(self, other: "Clustering") -> bool:
+        """True when both clusterings induce the same partition of the vertices."""
+        if self.num_vertices != other.num_vertices:
+            return False
+        return np.array_equal(self.canonical_labels(), other.canonical_labels())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Clustering(n={self.num_vertices}, clusters={self.num_clusters}, "
+            f"clustered={self.num_clustered_vertices}, mu={self.mu}, eps={self.epsilon})"
+        )

@@ -1,0 +1,179 @@
+"""The core order ``CO``: per-μ candidate cores sorted by core threshold.
+
+For every value of μ (from 2 up to the largest closed neighborhood size),
+``CO[μ]`` lists the vertices whose closed neighborhood has at least μ members
+-- the only vertices that can ever be cores for that μ -- sorted by
+non-increasing *core threshold*, i.e. the largest ε at which the vertex still
+is a core.  At query time the cores for (μ, ε) are a prefix of ``CO[μ]``,
+found with a doubling search (Algorithm 3).
+
+The structure stores one entry per (vertex, μ) pair with ``2 <= μ <=
+|N̄(v)|``, which is ``Σ_v deg(v) = 2m`` entries in total, matching the O(m)
+index-space bound of GS*-Index.  Construction finds the member list of each μ
+via doubling search over the degree-sorted vertex array (Algorithm 2, line
+12) and orders all lists with one segmented (integer) sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from ..parallel.sorting import (
+    comparison_sort_permutation,
+    integer_sort_permutation,
+    segmented_sort_by_key,
+    similarity_sort_keys,
+)
+from .doubling import prefix_length_at_least
+from .neighbor_order import NeighborOrder
+
+
+@dataclass
+class CoreOrder:
+    """Candidate core vertices for every μ, sorted by non-increasing threshold.
+
+    Attributes
+    ----------
+    indptr:
+        Offsets into ``vertices``/``thresholds`` indexed by μ; entries for
+        μ < 2 are empty.  ``indptr`` has length ``max_mu + 2`` so that the
+        segment of μ is ``[indptr[μ], indptr[μ+1])``.
+    vertices:
+        Candidate core vertex ids, segment by segment.
+    thresholds:
+        Core threshold of each vertex for the segment's μ, aligned with
+        ``vertices`` and non-increasing within a segment.
+    """
+
+    indptr: np.ndarray
+    vertices: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def max_mu(self) -> int:
+        """Largest μ for which a candidate list exists."""
+        return int(self.indptr.shape[0] - 2)
+
+    def candidates(self, mu: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vertices that can be cores for ``mu`` and their thresholds."""
+        if mu < 2 or mu > self.max_mu:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        start, end = int(self.indptr[mu]), int(self.indptr[mu + 1])
+        return self.vertices[start:end], self.thresholds[start:end]
+
+    def cores(
+        self, mu: int, epsilon: float, *, scheduler: Scheduler | None = None
+    ) -> np.ndarray:
+        """Core vertices under parameters ``(mu, epsilon)`` (Algorithm 3).
+
+        The cores are the prefix of ``CO[mu]`` whose thresholds are at least
+        ``epsilon``, found by doubling search.
+        """
+        vertices, thresholds = self.candidates(mu)
+        count = prefix_length_at_least(thresholds, epsilon, scheduler=scheduler)
+        return vertices[:count]
+
+    def core_threshold(self, v: int, mu: int) -> float | None:
+        """Threshold of ``v`` for ``mu`` as recorded in the order (None if absent)."""
+        vertices, thresholds = self.candidates(mu)
+        matches = np.flatnonzero(vertices == v)
+        if matches.size == 0:
+            return None
+        return float(thresholds[matches[0]])
+
+
+def build_core_order(
+    graph: Graph,
+    neighbor_order: NeighborOrder,
+    *,
+    scheduler: Scheduler | None = None,
+    use_integer_sort: bool = True,
+) -> CoreOrder:
+    """Construct the core order from the neighbor order (Algorithm 2).
+
+    For μ ranging over ``2 .. max closed degree``, the member list of μ is the
+    set of vertices with degree at least ``μ - 1``; it is located by doubling
+    search on the degree-sorted vertex array, and every member's threshold is
+    read off the neighbor order in O(1).
+    """
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    n = graph.num_vertices
+    degrees = graph.degrees
+    max_mu = int(degrees.max(initial=0)) + 1 if n else 1
+
+    # Vertices sorted by non-increasing degree (Algorithm 2, line 8).
+    if use_integer_sort:
+        order = integer_sort_permutation(scheduler, degrees, descending=True)
+    else:
+        order = comparison_sort_permutation(scheduler, degrees, descending=True)
+    sorted_vertices = np.arange(n, dtype=np.int64)[order]
+    sorted_degrees = degrees[order]
+
+    segment_vertices: list[np.ndarray] = []
+    segment_thresholds: list[np.ndarray] = []
+    segment_lengths = np.zeros(max_mu + 1, dtype=np.int64)
+
+    # The per-μ searches run as one parallel loop (Algorithm 2, line 11):
+    # work adds up over μ, span is the largest single iteration.
+    probe = Scheduler(scheduler.num_workers)
+    max_iteration_span = 0.0
+    for mu in range(2, max_mu + 1):
+        span_before = probe.counter.span
+        # Members are vertices with closed degree >= mu, i.e. degree >= mu - 1;
+        # they form a prefix of the degree-sorted array (doubling search).
+        count = prefix_length_at_least(sorted_degrees, mu - 1, scheduler=probe)
+        members = sorted_vertices[:count]
+        if count == 0:
+            max_iteration_span = max(max_iteration_span, probe.counter.span - span_before)
+            segment_vertices.append(np.zeros(0, dtype=np.int64))
+            segment_thresholds.append(np.zeros(0, dtype=np.float64))
+            continue
+        # Threshold of v for mu: similarity of its (mu - 1)-th most similar
+        # neighbor, i.e. position mu - 2 of NO[v].
+        offsets = neighbor_order.indptr[members] + (mu - 2)
+        thresholds = neighbor_order.similarities[offsets]
+        probe.charge(count, ceil_log2(max(count, 1)) + 1.0)
+        max_iteration_span = max(max_iteration_span, probe.counter.span - span_before)
+        segment_vertices.append(members)
+        segment_thresholds.append(thresholds)
+        segment_lengths[mu] = count
+    scheduler.charge(
+        probe.counter.work, max_iteration_span + ceil_log2(max(max_mu, 1)) + 1.0
+    )
+
+    indptr = np.zeros(max_mu + 2, dtype=np.int64)
+    np.cumsum(segment_lengths, out=indptr[1:])
+    all_vertices = (
+        np.concatenate(segment_vertices) if segment_vertices else np.zeros(0, dtype=np.int64)
+    )
+    all_thresholds = (
+        np.concatenate(segment_thresholds)
+        if segment_thresholds
+        else np.zeros(0, dtype=np.float64)
+    )
+
+    # One global segmented sort orders every CO[mu] by non-increasing
+    # threshold (ties by vertex id, inherited from the stable sort).
+    if use_integer_sort:
+        keys = similarity_sort_keys(all_thresholds)
+    else:
+        keys = all_thresholds
+    positions = np.arange(all_vertices.shape[0], dtype=np.int64)
+    sorted_positions = segmented_sort_by_key(
+        scheduler,
+        indptr,
+        positions,
+        keys,
+        descending=True,
+        use_integer_sort=use_integer_sort,
+    )
+    return CoreOrder(
+        indptr=indptr,
+        vertices=all_vertices[sorted_positions],
+        thresholds=all_thresholds[sorted_positions],
+    )

@@ -1,0 +1,97 @@
+"""Doubling (galloping) search over non-increasing key arrays.
+
+Both index queries in the paper lean on doubling search to stay
+work-efficient: the cores for parameter μ are a *prefix* of ``CO[μ]`` and the
+ε-similar neighbors of a vertex are a *prefix* of ``NO[v]``, because both are
+sorted by non-increasing similarity.  A binary search would cost ``O(log n)``
+per probe regardless of the answer, which adds up to an ``O(n log n)`` term;
+doubling search costs ``O(log j)`` where ``j`` is the length of the returned
+prefix, which is what keeps the query work proportional to the output size
+(Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+
+
+def prefix_length_at_least(
+    keys: np.ndarray,
+    threshold: float,
+    *,
+    scheduler: Scheduler | None = None,
+) -> int:
+    """Length of the prefix of ``keys`` whose entries are ``>= threshold``.
+
+    ``keys`` must be sorted in non-increasing order (this is asserted only in
+    debug-level tests, not at runtime, to keep the query path lean).  Charges
+    ``O(log j)`` work where ``j`` is the returned prefix length.
+    """
+    keys = np.asarray(keys)
+    n = int(keys.shape[0])
+    if n == 0 or keys[0] < threshold:
+        if scheduler is not None:
+            scheduler.charge(1, 1)
+        return 0
+
+    # Doubling phase: find the first probe position whose key drops below the
+    # threshold; the answer then lies in (bound/2, bound].
+    bound = 1
+    while bound < n and keys[bound] >= threshold:
+        bound <<= 1
+    low = bound >> 1          # keys[low] >= threshold
+    high = min(bound, n - 1)  # first candidate position that may fail
+
+    # Binary search within (low, high] for the first failing position.
+    if keys[high] >= threshold:
+        result = high + 1
+    else:
+        left, right = low, high  # keys[left] >= threshold > keys[right]
+        while right - left > 1:
+            middle = (left + right) // 2
+            if keys[middle] >= threshold:
+                left = middle
+            else:
+                right = middle
+        result = right
+
+    if scheduler is not None:
+        scheduler.charge(2 * (ceil_log2(max(result, 1)) + 1.0), ceil_log2(max(result, 1)) + 1.0)
+    return result
+
+
+def prefix_length_greater_than(
+    keys: np.ndarray,
+    threshold: float,
+    *,
+    scheduler: Scheduler | None = None,
+) -> int:
+    """Length of the prefix of ``keys`` whose entries are strictly ``> threshold``."""
+    keys = np.asarray(keys)
+    n = int(keys.shape[0])
+    if n == 0 or keys[0] <= threshold:
+        if scheduler is not None:
+            scheduler.charge(1, 1)
+        return 0
+    bound = 1
+    while bound < n and keys[bound] > threshold:
+        bound <<= 1
+    low = bound >> 1
+    high = min(bound, n - 1)
+    if keys[high] > threshold:
+        result = high + 1
+    else:
+        left, right = low, high
+        while right - left > 1:
+            middle = (left + right) // 2
+            if keys[middle] > threshold:
+                left = middle
+            else:
+                right = middle
+        result = right
+    if scheduler is not None:
+        scheduler.charge(2 * (ceil_log2(max(result, 1)) + 1.0), ceil_log2(max(result, 1)) + 1.0)
+    return result

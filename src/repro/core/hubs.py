@@ -1,0 +1,54 @@
+"""Hub and outlier classification of unclustered vertices (Section 4.3).
+
+After a clustering query, every unclustered vertex is either a *hub* -- it
+neighbors at least two distinct clusters -- or an *outlier*.  The paper
+computes this with a map over each unclustered vertex's neighbors followed by
+a reduce, for ``O(n + m)`` total work and ``O(log n)`` span; the same costs
+are charged here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from .clustering import UNCLUSTERED, Clustering
+
+
+def classify_unclustered(
+    graph: Graph,
+    clustering: Clustering,
+    *,
+    scheduler: Scheduler | None = None,
+) -> Clustering:
+    """Fill in ``hub_mask`` / ``outlier_mask`` of ``clustering`` in place.
+
+    A vertex left unclustered by the query is a hub when its neighbors span
+    at least two distinct clusters, and an outlier otherwise.  Returns the
+    same :class:`Clustering` for convenient chaining.
+    """
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    labels = clustering.labels
+    n = graph.num_vertices
+    hub_mask = np.zeros(n, dtype=bool)
+    outlier_mask = np.zeros(n, dtype=bool)
+
+    unclustered = clustering.unclustered_vertices()
+    total_degree = int(graph.degrees[unclustered].sum()) if unclustered.size else 0
+    scheduler.charge(total_degree + n, ceil_log2(max(n, 1)) + 1.0)
+
+    for v in unclustered:
+        v = int(v)
+        neighbor_labels = labels[graph.neighbors(v)]
+        neighbor_labels = neighbor_labels[neighbor_labels != UNCLUSTERED]
+        distinct = np.unique(neighbor_labels)
+        if distinct.shape[0] >= 2:
+            hub_mask[v] = True
+        else:
+            outlier_mask[v] = True
+
+    clustering.hub_mask = hub_mask
+    clustering.outlier_mask = outlier_mask
+    return clustering

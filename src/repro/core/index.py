@@ -1,0 +1,224 @@
+"""The parallel SCAN index: construction and the public query interface.
+
+:class:`ScanIndex` bundles everything the paper calls "the index": the
+similarity score of every edge, the neighbor order ``NO`` and the core order
+``CO``.  Building it is the expensive, parallelisable step (Section 4.1);
+once built, clusterings for arbitrary ``(μ, ε)`` parameters are cheap
+(Section 4.2), which is the point of the index-based approach -- users
+typically explore many parameter settings in search of a good clustering.
+
+Typical usage::
+
+    from repro import ScanIndex
+    from repro.graphs import planted_partition
+
+    graph = planted_partition(num_clusters=10, cluster_size=50, seed=0)
+    index = ScanIndex.build(graph, measure="cosine")
+    clustering = index.query(mu=5, epsilon=0.6)
+
+Approximate (LSH-based) construction is selected by passing an
+:class:`~repro.lsh.approximate.ApproximationConfig`::
+
+    index = ScanIndex.build(graph, approximate=ApproximationConfig(num_samples=128))
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..lsh.approximate import ApproximationConfig, compute_approximate_similarities
+from ..parallel.metrics import CostReport
+from ..parallel.scheduler import PAPER_NUM_THREADS, Scheduler
+from ..similarity.exact import EdgeSimilarities, compute_similarities
+from .clustering import Clustering
+from .core_order import CoreOrder, build_core_order
+from .hubs import classify_unclustered
+from .neighbor_order import NeighborOrder, build_neighbor_order
+from .query import cluster as _cluster
+from .query import get_cores
+
+
+@dataclass
+class ScanIndex:
+    """Precomputed SCAN index over a graph (GS*-Index structure, built in parallel).
+
+    Attributes
+    ----------
+    graph:
+        The indexed graph.
+    similarities:
+        Per-edge similarity scores the index was built from.
+    neighbor_order, core_order:
+        The two sorted orders queries read prefixes of.
+    construction_report:
+        Work/span/wall-clock record of the construction, used by the
+        benchmark harness.
+    """
+
+    graph: Graph
+    similarities: EdgeSimilarities
+    neighbor_order: NeighborOrder
+    core_order: CoreOrder
+    construction_report: CostReport
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        *,
+        measure: str = "cosine",
+        backend: str = "merge",
+        approximate: ApproximationConfig | None = None,
+        use_integer_sort: bool = True,
+        num_workers: int = PAPER_NUM_THREADS,
+        scheduler: Scheduler | None = None,
+    ) -> "ScanIndex":
+        """Build the index, computing similarities from scratch.
+
+        Parameters
+        ----------
+        graph:
+            Input graph (weighted graphs require ``measure="cosine"``).
+        measure:
+            Structural similarity measure (``cosine``, ``jaccard``, ``dice``).
+        backend:
+            Exact similarity backend (``merge``, ``hash``, ``matmul``);
+            ignored when ``approximate`` is given.
+        approximate:
+            When provided, similarities are estimated with LSH sketches
+            (SimHash for cosine, MinHash for Jaccard) instead of computed
+            exactly; see Section 5 of the paper.
+        use_integer_sort:
+            Sort the orders with the integer-sort bounds of Section 4.1.2.
+        num_workers:
+            Simulated processor count recorded on the scheduler.
+        scheduler:
+            Externally owned scheduler for cost accounting; a fresh one is
+            created when omitted.
+        """
+        scheduler = scheduler if scheduler is not None else Scheduler(num_workers)
+        started = time.perf_counter()
+        if approximate is not None:
+            if approximate.measure != measure:
+                approximate = ApproximationConfig(
+                    measure=measure,
+                    num_samples=approximate.num_samples,
+                    seed=approximate.seed,
+                    use_k_partition_minhash=approximate.use_k_partition_minhash,
+                    degree_threshold=approximate.degree_threshold,
+                )
+            similarities = compute_approximate_similarities(
+                graph, approximate, scheduler=scheduler
+            )
+        else:
+            similarities = compute_similarities(
+                graph, measure=measure, backend=backend, scheduler=scheduler
+            )
+        return cls.build_from_similarities(
+            graph,
+            similarities,
+            use_integer_sort=use_integer_sort,
+            scheduler=scheduler,
+            _started=started,
+        )
+
+    @classmethod
+    def build_from_similarities(
+        cls,
+        graph: Graph,
+        similarities: EdgeSimilarities,
+        *,
+        use_integer_sort: bool = True,
+        scheduler: Scheduler | None = None,
+        _started: float | None = None,
+    ) -> "ScanIndex":
+        """Build the index from similarity scores computed elsewhere."""
+        scheduler = scheduler if scheduler is not None else Scheduler()
+        started = time.perf_counter() if _started is None else _started
+        neighbor_order = build_neighbor_order(
+            graph, similarities, scheduler=scheduler, use_integer_sort=use_integer_sort
+        )
+        core_order = build_core_order(
+            graph, neighbor_order, scheduler=scheduler, use_integer_sort=use_integer_sort
+        )
+        elapsed = time.perf_counter() - started
+        report = CostReport.from_counter(
+            label=f"index-construction[{similarities.measure}]",
+            counter=scheduler.counter,
+            wall_seconds=elapsed,
+            num_workers=scheduler.num_workers,
+            measure=similarities.measure,
+        )
+        return cls(
+            graph=graph,
+            similarities=similarities,
+            neighbor_order=neighbor_order,
+            core_order=core_order,
+            construction_report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def core_vertices(
+        self, mu: int, epsilon: float, *, scheduler: Scheduler | None = None
+    ) -> np.ndarray:
+        """Core vertices under ``(mu, epsilon)`` (Algorithm 3)."""
+        return get_cores(self.core_order, mu, epsilon, scheduler=scheduler)
+
+    def query(
+        self,
+        mu: int,
+        epsilon: float,
+        *,
+        scheduler: Scheduler | None = None,
+        deterministic_borders: bool = False,
+        classify_hubs_and_outliers: bool = False,
+    ) -> Clustering:
+        """SCAN clustering for ``(mu, epsilon)`` (Algorithm 5).
+
+        ``deterministic_borders`` assigns each border vertex to its most
+        similar core neighbor (ties to the lower vertex id) instead of an
+        arbitrary one, which makes repeated queries bit-for-bit reproducible
+        (used by the quality experiments in Section 7.3.4).
+        ``classify_hubs_and_outliers`` additionally labels every unclustered
+        vertex as hub or outlier (Section 4.3).
+        """
+        scheduler = scheduler if scheduler is not None else Scheduler()
+        clustering = _cluster(
+            self.graph,
+            self.neighbor_order,
+            self.core_order,
+            mu,
+            epsilon,
+            scheduler=scheduler,
+            deterministic_borders=deterministic_borders,
+        )
+        if classify_hubs_and_outliers:
+            classify_unclustered(self.graph, clustering, scheduler=scheduler)
+        return clustering
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def measure(self) -> str:
+        """Similarity measure the index was built with."""
+        return self.similarities.measure
+
+    def index_size_entries(self) -> int:
+        """Number of stored (vertex, neighbor) and (vertex, μ) entries (O(m))."""
+        return int(self.neighbor_order.neighbors.shape[0] + self.core_order.vertices.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScanIndex(n={self.graph.num_vertices}, m={self.graph.num_edges}, "
+            f"measure={self.measure!r})"
+        )

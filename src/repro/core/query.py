@@ -1,0 +1,155 @@
+"""Index queries: extracting the SCAN clustering for arbitrary (μ, ε).
+
+This module implements Algorithms 3-5 of the paper.  Given the precomputed
+index (neighbor order + core order), a query
+
+1. finds the core vertices as a prefix of ``CO[μ]`` via doubling search
+   (:func:`get_cores`, Algorithm 3);
+2. gathers all ε-similar edges incident to cores as prefixes of the cores'
+   neighbor-order lists (doubling search per core);
+3. runs union-find over the ε-similar core-core edges to cluster the cores
+   (the connectivity step of Algorithm 5, using the union-find optimisation
+   of Section 6.2);
+4. attaches border (non-core) vertices to a neighboring core's cluster --
+   either to an arbitrary one (the CAS semantics of Algorithm 4) or, for
+   reproducible experiments, to the most similar one with ties broken toward
+   the lower vertex id (the deterministic rule of Section 7.3.4).
+
+The total work is proportional to the number of ε-similar edges touching the
+output clusters, matching Theorem 4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from ..parallel.unionfind import UnionFind
+from .clustering import UNCLUSTERED, Clustering
+from .doubling import prefix_length_at_least
+
+
+def get_cores(
+    core_order,
+    mu: int,
+    epsilon: float,
+    *,
+    scheduler: Scheduler | None = None,
+) -> np.ndarray:
+    """Core vertices under ``(mu, epsilon)`` (Algorithm 3).
+
+    ``mu`` counts the vertex itself (closed ε-neighborhood), following the
+    paper; ``mu <= 1`` therefore makes every vertex a core, and values above
+    the maximum closed degree yield no cores.
+    """
+    if mu < 2:
+        raise ValueError(f"mu must be at least 2, got {mu}")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+    return core_order.cores(mu, epsilon, scheduler=scheduler)
+
+
+def _epsilon_similar_arcs(
+    neighbor_order,
+    cores: np.ndarray,
+    epsilon: float,
+    scheduler: Scheduler,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All arcs (core u, neighbor v, similarity) with similarity >= epsilon.
+
+    Each core's ε-similar neighbors form a prefix of its neighbor-order list,
+    located by doubling search (Algorithm 5, line 4).
+    """
+    sources: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    similarities: list[np.ndarray] = []
+    # One doubling search per core; the searches are independent, so the span
+    # of the whole step is the largest single search, not their sum.
+    probe = Scheduler(scheduler.num_workers)
+    max_search_span = 0.0
+    for u in cores:
+        u = int(u)
+        keys = neighbor_order.similarities_of(u)
+        span_before = probe.counter.span
+        count = prefix_length_at_least(keys, epsilon, scheduler=probe)
+        max_search_span = max(max_search_span, probe.counter.span - span_before)
+        if count == 0:
+            continue
+        sources.append(np.full(count, u, dtype=np.int64))
+        targets.append(neighbor_order.neighbors_of(u)[:count])
+        similarities.append(keys[:count])
+    scheduler.charge(
+        probe.counter.work, max_search_span + ceil_log2(max(int(cores.size), 1)) + 1.0
+    )
+    if not sources:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), np.zeros(0, dtype=np.float64)
+    scheduler.charge(
+        sum(chunk.shape[0] for chunk in sources),
+        ceil_log2(max(len(sources), 1)) + 1.0,
+    )
+    return (
+        np.concatenate(sources),
+        np.concatenate(targets),
+        np.concatenate(similarities),
+    )
+
+
+def cluster(
+    graph,
+    neighbor_order,
+    core_order,
+    mu: int,
+    epsilon: float,
+    *,
+    scheduler: Scheduler | None = None,
+    deterministic_borders: bool = False,
+) -> Clustering:
+    """SCAN clustering for ``(mu, epsilon)`` from the index (Algorithm 5)."""
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    n = graph.num_vertices
+    labels = np.full(n, UNCLUSTERED, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+
+    cores = get_cores(core_order, mu, epsilon, scheduler=scheduler)
+    if cores.size == 0:
+        return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
+    core_mask[cores] = True
+
+    arc_sources, arc_targets, arc_similarities = _epsilon_similar_arcs(
+        neighbor_order, cores, epsilon, scheduler
+    )
+
+    # Connectivity over the ε-similar core-core edges (union-find, Section 6.2).
+    core_to_core = core_mask[arc_targets]
+    forest = UnionFind(n)
+    forest.union_batch(scheduler, arc_sources[core_to_core], arc_targets[core_to_core])
+    labels[cores] = forest.find_batch(scheduler, cores)
+
+    # Border vertices: non-core endpoints of ε-similar edges out of cores.
+    border_arcs = ~core_to_core
+    border_sources = arc_sources[border_arcs]
+    border_targets = arc_targets[border_arcs]
+    border_similarities = arc_similarities[border_arcs]
+    scheduler.charge(
+        int(border_targets.size), ceil_log2(max(int(border_targets.size), 1)) + 1.0
+    )
+    if border_targets.size:
+        if deterministic_borders:
+            # Most similar neighboring core wins; ties go to the lower core id.
+            order = np.lexsort((border_sources, -border_similarities))
+        else:
+            # Arbitrary assignment: the paper uses a compare-and-swap, which
+            # keeps the first writer; we mirror that by keeping the first arc
+            # in traversal order.
+            order = np.arange(border_targets.shape[0])
+        seen: set[int] = set()
+        for position in order:
+            v = int(border_targets[position])
+            if v in seen:
+                continue
+            seen.add(v)
+            labels[v] = labels[int(border_sources[position])]
+
+    return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)

@@ -1,0 +1,256 @@
+"""Synthetic graph generators used as stand-ins for the paper's datasets.
+
+The paper evaluates on six real-world graphs between 70 million and
+1.8 billion edges (Table 2).  Those graphs cannot be shipped or processed at
+laptop scale in pure Python, so the benchmark harness substitutes synthetic
+graphs that preserve the structural features the algorithms are sensitive to:
+
+* **planted-partition social graphs** (Orkut / Friendster stand-ins):
+  pronounced community structure plus background noise edges;
+* **dense clustered graphs** (brain stand-in): very high average degree and
+  large arboricity, the regime where LSH approximation pays off;
+* **hub-and-spoke web graphs** (WebBase stand-in): heavy-tailed degrees with
+  a few massive hubs and many low-degree pages;
+* **dense weighted association graphs** (blood vessel / cochlea stand-ins):
+  near-complete weighted graphs whose weights encode relationship confidence.
+
+Every generator takes a ``seed`` and is fully deterministic given it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import from_edge_list
+from .graph import Graph
+
+#: Edges of the worked example of Figure 1 (0-based vertex ids; the paper
+#: numbers the same vertices 1..11).
+PAPER_EXAMPLE_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 1), (0, 3),
+    (1, 2), (1, 3),
+    (2, 3),
+    (3, 4),
+    (4, 5),
+    (5, 6), (5, 7),
+    (6, 7), (6, 10),
+    (7, 8),
+    (8, 9),
+)
+
+
+def paper_example_graph() -> Graph:
+    """The 11-vertex, 13-edge example graph of Figure 1 (0-based ids)."""
+    return from_edge_list(PAPER_EXAMPLE_EDGES, num_vertices=11)
+
+
+def _dedup_pairs(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Stack, canonicalise and deduplicate endpoint arrays into an edge array."""
+    low = np.minimum(u, v)
+    high = np.maximum(u, v)
+    keep = low != high
+    edges = np.unique(np.column_stack([low[keep], high[keep]]), axis=0)
+    return edges
+
+
+def erdos_renyi(
+    num_vertices: int,
+    edge_probability: float,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """G(n, p) random graph."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    expected = edge_probability * num_vertices * (num_vertices - 1) / 2
+    if num_vertices <= 2048 or expected > num_vertices * (num_vertices - 1) / 8:
+        upper_u, upper_v = np.triu_indices(num_vertices, k=1)
+        keep = rng.random(upper_u.shape[0]) < edge_probability
+        edges = np.column_stack([upper_u[keep], upper_v[keep]])
+    else:
+        # Sparse case: sample with replacement and deduplicate.
+        count = rng.poisson(expected)
+        u = rng.integers(0, num_vertices, size=count)
+        v = rng.integers(0, num_vertices, size=count)
+        edges = _dedup_pairs(u, v)
+    return from_edge_list(edges, num_vertices=num_vertices)
+
+
+def planted_partition(
+    num_clusters: int,
+    cluster_size: int,
+    *,
+    p_intra: float = 0.3,
+    p_inter: float = 0.005,
+    seed: int = 0,
+) -> Graph:
+    """Planted-partition (stochastic block model) graph with equal-size clusters.
+
+    Vertices ``[c * cluster_size, (c + 1) * cluster_size)`` form ground-truth
+    cluster ``c``.  Intra-cluster pairs are connected with probability
+    ``p_intra`` and inter-cluster pairs with probability ``p_inter``.
+    """
+    if num_clusters < 1 or cluster_size < 1:
+        raise ValueError("num_clusters and cluster_size must be positive")
+    rng = np.random.default_rng(seed)
+    n = num_clusters * cluster_size
+    chunks: list[np.ndarray] = []
+
+    for cluster in range(num_clusters):
+        offset = cluster * cluster_size
+        upper_u, upper_v = np.triu_indices(cluster_size, k=1)
+        keep = rng.random(upper_u.shape[0]) < p_intra
+        if keep.any():
+            chunks.append(np.column_stack([upper_u[keep] + offset, upper_v[keep] + offset]))
+
+    expected_inter = p_inter * (n * (n - 1) / 2)
+    count = rng.poisson(max(expected_inter, 0.0))
+    if count:
+        u = rng.integers(0, n, size=count)
+        v = rng.integers(0, n, size=count)
+        different = (u // cluster_size) != (v // cluster_size)
+        chunks.append(_dedup_pairs(u[different], v[different]))
+
+    edges = np.concatenate(chunks) if chunks else np.zeros((0, 2), dtype=np.int64)
+    return from_edge_list(edges, num_vertices=n)
+
+
+def planted_partition_labels(num_clusters: int, cluster_size: int) -> np.ndarray:
+    """Ground-truth cluster labels matching :func:`planted_partition`."""
+    return np.repeat(np.arange(num_clusters, dtype=np.int64), cluster_size)
+
+
+def preferential_attachment(
+    num_vertices: int,
+    edges_per_vertex: int,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """Barabási–Albert preferential-attachment graph (heavy-tailed degrees)."""
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be positive")
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    rng = np.random.default_rng(seed)
+    targets: list[int] = list(range(edges_per_vertex))
+    repeated: list[int] = list(range(edges_per_vertex))
+    edges: list[tuple[int, int]] = []
+    for source in range(edges_per_vertex, num_vertices):
+        chosen = rng.choice(repeated, size=edges_per_vertex, replace=False) if len(
+            repeated
+        ) >= edges_per_vertex else rng.choice(targets, size=edges_per_vertex, replace=True)
+        for target in np.unique(chosen):
+            edges.append((source, int(target)))
+            repeated.append(int(target))
+            repeated.append(source)
+    return from_edge_list(edges, num_vertices=num_vertices)
+
+
+def hub_and_spoke_web(
+    num_hubs: int,
+    pages_per_hub: int,
+    *,
+    cross_link_probability: float = 0.001,
+    intra_hub_probability: float = 0.15,
+    seed: int = 0,
+) -> Graph:
+    """Web-crawl-like graph: hub pages with dense local link neighborhoods.
+
+    Each hub is connected to all of its pages; pages within the same hub link
+    to each other with ``intra_hub_probability``; random cross links connect
+    different hubs' pages with ``cross_link_probability``.
+    """
+    rng = np.random.default_rng(seed)
+    group = 1 + pages_per_hub
+    n = num_hubs * group
+    chunks: list[np.ndarray] = []
+    for hub in range(num_hubs):
+        hub_vertex = hub * group
+        pages = np.arange(hub_vertex + 1, hub_vertex + group)
+        chunks.append(np.column_stack([np.full(pages.shape[0], hub_vertex), pages]))
+        upper_u, upper_v = np.triu_indices(pages.shape[0], k=1)
+        keep = rng.random(upper_u.shape[0]) < intra_hub_probability
+        if keep.any():
+            chunks.append(np.column_stack([pages[upper_u[keep]], pages[upper_v[keep]]]))
+    expected_cross = cross_link_probability * n * (n - 1) / 2
+    count = rng.poisson(max(expected_cross, 0.0))
+    if count:
+        u = rng.integers(0, n, size=count)
+        v = rng.integers(0, n, size=count)
+        chunks.append(_dedup_pairs(u, v))
+    edges = np.concatenate(chunks) if chunks else np.zeros((0, 2), dtype=np.int64)
+    return from_edge_list(edges, num_vertices=n)
+
+
+def dense_weighted_association(
+    num_vertices: int,
+    *,
+    num_modules: int = 4,
+    density: float = 0.5,
+    seed: int = 0,
+) -> Graph:
+    """Dense weighted graph mimicking HumanBase functional-association networks.
+
+    Vertices are split into ``num_modules`` functional modules.  Every pair of
+    vertices is connected with probability ``density``; edges inside a module
+    receive high confidence weights (0.6-1.0) and edges across modules receive
+    low confidence weights (0.01-0.3), mirroring how tissue networks encode
+    relationship probability on the edges.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    module = rng.integers(0, num_modules, size=num_vertices)
+    upper_u, upper_v = np.triu_indices(num_vertices, k=1)
+    keep = rng.random(upper_u.shape[0]) < density
+    u, v = upper_u[keep], upper_v[keep]
+    same_module = module[u] == module[v]
+    weights = np.where(
+        same_module,
+        rng.uniform(0.6, 1.0, size=u.shape[0]),
+        rng.uniform(0.01, 0.3, size=u.shape[0]),
+    )
+    return from_edge_list(
+        np.column_stack([u, v]), num_vertices=num_vertices, weights=weights
+    )
+
+
+def dense_clustered_graph(
+    num_clusters: int,
+    cluster_size: int,
+    *,
+    p_intra: float = 0.8,
+    p_inter: float = 0.02,
+    seed: int = 0,
+) -> Graph:
+    """Very dense planted-partition graph (brain-connectome stand-in).
+
+    High intra-cluster density produces the large-arboricity regime in which
+    exact similarity computation is expensive and LSH approximation pays off.
+    """
+    return planted_partition(
+        num_clusters,
+        cluster_size,
+        p_intra=p_intra,
+        p_inter=p_inter,
+        seed=seed,
+    )
+
+
+def with_random_weights(
+    graph: Graph,
+    *,
+    low: float = 0.05,
+    high: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """Copy of ``graph`` with uniformly random edge weights in ``[low, high)``."""
+    rng = np.random.default_rng(seed)
+    edge_u, edge_v = graph.edge_list()
+    weights = rng.uniform(low, high, size=graph.num_edges)
+    return from_edge_list(
+        np.column_stack([edge_u, edge_v]),
+        num_vertices=graph.num_vertices,
+        weights=weights,
+    )

@@ -1,0 +1,335 @@
+"""Compressed-sparse-row representation of simple undirected graphs.
+
+The :class:`Graph` class is the data structure every algorithm in this
+library operates on.  It stores an undirected, simple (no self-loops, no
+parallel edges) graph in CSR form with neighbor lists sorted by vertex id,
+exactly the representation the GBBS framework used by the paper assumes.
+
+Two index spaces are exposed:
+
+* *arcs*: the ``2m`` directed half-edges of the CSR arrays (``indptr``,
+  ``indices``, ``arc_weights``);
+* *edges*: the ``m`` canonical undirected edges, listed with
+  ``edge_u[i] < edge_v[i]``.  ``arc_edge_ids`` maps every arc to the id of
+  its canonical edge, which lets per-edge quantities (similarity scores)
+  be gathered into per-arc order in one vectorised step.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+
+class DegreeOrientedCsr(NamedTuple):
+    """Degree orientation of a graph in CSR form.
+
+    Every undirected edge is kept once, directed toward the endpoint of
+    higher degree (ties toward the higher vertex id).  ``edge_ids`` and
+    ``weights`` are aligned with ``indices`` and refer back to the canonical
+    undirected edges of the originating :class:`Graph`.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: np.ndarray
+    weights: np.ndarray
+
+
+class Graph:
+    """Simple undirected graph in CSR form.
+
+    Instances are normally built through :mod:`repro.graphs.builders` or the
+    generators rather than by calling this constructor directly.
+
+    Parameters
+    ----------
+    indptr:
+        int64 array of length ``n + 1``; neighbor list of vertex ``v`` is
+        ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        int64 array of length ``2m`` with neighbor ids, sorted within each
+        neighbor list.
+    arc_weights:
+        Optional float64 array of length ``2m`` aligned with ``indices``.
+        ``None`` means the graph is unweighted (all weights treated as 1).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        arc_weights: np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.arc_weights = (
+            None if arc_weights is None else np.asarray(arc_weights, dtype=np.float64)
+        )
+        if validate:
+            self._validate()
+        self._build_edge_index()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        n = self.indptr.size - 1
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise ValueError("neighbor ids out of range")
+        if self.arc_weights is not None and self.arc_weights.shape != self.indices.shape:
+            raise ValueError("arc_weights must align with indices")
+        for v in range(n):
+            start, end = self.indptr[v], self.indptr[v + 1]
+            neighbors = self.indices[start:end]
+            if np.any(neighbors == v):
+                raise ValueError(f"self-loop at vertex {v}")
+            if np.any(np.diff(neighbors) <= 0):
+                raise ValueError(
+                    f"neighbor list of vertex {v} must be strictly increasing "
+                    "(sorted, no duplicates)"
+                )
+
+    def _build_edge_index(self) -> None:
+        """Derive the canonical edge list and the arc -> edge id mapping."""
+        n = self.num_vertices
+        sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        targets = self.indices
+        forward = sources < targets
+        self.edge_u = sources[forward]
+        self.edge_v = targets[forward]
+        if self.arc_weights is not None:
+            self.edge_weights = self.arc_weights[forward]
+        else:
+            self.edge_weights = None
+        # Canonical edge ids are assigned in the order forward arcs appear in
+        # the CSR arrays, i.e. sorted by (u, v).  Every arc (x -> y) maps to
+        # the id of edge (min(x,y), max(x,y)) via a lexicographic search.
+        num_edges = int(self.edge_u.shape[0])
+        arc_min = np.minimum(sources, targets)
+        arc_max = np.maximum(sources, targets)
+        if num_edges:
+            order = np.lexsort((self.edge_v, self.edge_u))
+            # Edges are already produced in lexicographic (u, v) order by the
+            # CSR scan, so `order` is the identity; keep the general code path
+            # for safety when subclasses override construction.
+            sorted_u = self.edge_u[order]
+            sorted_v = self.edge_v[order]
+            positions = np.searchsorted(
+                sorted_u * np.int64(self.num_vertices) + sorted_v,
+                arc_min * np.int64(self.num_vertices) + arc_max,
+            )
+            self.arc_edge_ids = order[positions]
+        else:
+            self.arc_edge_ids = np.zeros(0, dtype=np.int64)
+        self._arc_sources = sources
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return int(self.edge_u.shape[0])
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed half-edges, ``2m``."""
+        return int(self.indices.shape[0])
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when explicit edge weights are stored."""
+        return self.arc_weights is not None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Array of vertex degrees."""
+        return np.diff(self.indptr)
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees.max(initial=0))
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of vertex ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors`; ones when unweighted."""
+        if self.arc_weights is None:
+            return np.ones(self.degree(v), dtype=np.float64)
+        return self.arc_weights[self.indptr[v]:self.indptr[v + 1]]
+
+    def arc_range(self, v: int) -> tuple[int, int]:
+        """Half-open range of arc positions belonging to vertex ``v``."""
+        return int(self.indptr[v]), int(self.indptr[v + 1])
+
+    def arc_sources(self) -> np.ndarray:
+        """Source vertex of every arc (length ``2m``)."""
+        return self._arc_sources
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when ``{u, v}`` is an edge of the graph."""
+        if u == v:
+            return False
+        neighbors = self.neighbors(u)
+        position = int(np.searchsorted(neighbors, v))
+        return position < neighbors.size and neighbors[position] == v
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Canonical edge id of ``{u, v}``; raises ``KeyError`` if absent."""
+        if u > v:
+            u, v = v, u
+        neighbors = self.neighbors(u)
+        position = int(np.searchsorted(neighbors, v))
+        if position >= neighbors.size or neighbors[position] != v:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        return int(self.arc_edge_ids[self.indptr[u] + position])
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}`` (1.0 for unweighted graphs)."""
+        edge = self.edge_id(u, v)
+        if self.edge_weights is None:
+            return 1.0
+        return float(self.edge_weights[edge])
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical edge endpoints ``(edge_u, edge_v)`` with ``u < v``."""
+        return self.edge_u, self.edge_v
+
+    def edges(self):
+        """Iterate canonical edges as ``(u, v)`` Python ints."""
+        for u, v in zip(self.edge_u.tolist(), self.edge_v.tolist()):
+            yield u, v
+
+    # ------------------------------------------------------------------
+    # Derived graphs and matrices
+    # ------------------------------------------------------------------
+    def closed_neighborhood(self, v: int) -> np.ndarray:
+        """Sorted closed neighborhood ``N(v) ∪ {v}`` of vertex ``v``."""
+        neighbors = self.neighbors(v)
+        position = int(np.searchsorted(neighbors, v))
+        return np.insert(neighbors, position, v)
+
+    def adjacency_matrix(self, *, include_self_loops: bool = False) -> np.ndarray:
+        """Dense adjacency (or weight) matrix as float64.
+
+        ``include_self_loops`` adds a unit diagonal, matching the paper's
+        convention ``w(x, x) = 1`` used by the weighted cosine similarity.
+        Intended only for small/dense graphs (the matmul backend).
+        """
+        n = self.num_vertices
+        matrix = np.zeros((n, n), dtype=np.float64)
+        sources = self._arc_sources
+        if self.arc_weights is None:
+            matrix[sources, self.indices] = 1.0
+        else:
+            matrix[sources, self.indices] = self.arc_weights
+        if include_self_loops:
+            np.fill_diagonal(matrix, 1.0)
+        return matrix
+
+    def degree_oriented_csr(self) -> DegreeOrientedCsr:
+        """Degree orientation with per-arc canonical edge ids and weights.
+
+        This is the structure the merge-based similarity engine iterates
+        over: each triangle of the graph appears exactly once as an arc
+        ``u -> v`` plus a shared out-neighbor ``x`` of ``u`` and ``v``.
+        """
+        degrees = self.degrees
+        n = self.num_vertices
+        sources = self._arc_sources
+        targets = self.indices
+        rank_source = degrees[sources] * np.int64(n) + sources
+        rank_target = degrees[targets] * np.int64(n) + targets
+        keep = rank_source < rank_target
+        out_sources = sources[keep]
+        out_targets = targets[keep]
+        out_edge_ids = self.arc_edge_ids[keep]
+        if self.arc_weights is not None:
+            out_weights = self.arc_weights[keep]
+        else:
+            out_weights = np.ones(out_targets.shape[0], dtype=np.float64)
+        out_degrees = np.bincount(out_sources, minlength=n).astype(np.int64)
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_degrees, out=out_indptr[1:])
+        return DegreeOrientedCsr(out_indptr, out_targets, out_edge_ids, out_weights)
+
+    def degree_ordered_arcs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arcs of the degree orientation used by merge-based triangle counting.
+
+        Every undirected edge is directed toward the endpoint of higher degree
+        (ties broken toward the higher vertex id), as in Section 6.1.  Returns
+        ``(out_indptr, out_indices)`` of the resulting DAG; out-neighbor lists
+        are sorted by vertex id.
+        """
+        degrees = self.degrees
+        n = self.num_vertices
+        sources = self._arc_sources
+        targets = self.indices
+        rank_source = degrees[sources] * np.int64(n) + sources
+        rank_target = degrees[targets] * np.int64(n) + targets
+        keep = rank_source < rank_target
+        out_sources = sources[keep]
+        out_targets = targets[keep]
+        out_degrees = np.bincount(out_sources, minlength=n).astype(np.int64)
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_degrees, out=out_indptr[1:])
+        # Arcs are visited in CSR order, so within a source the targets stay sorted.
+        return out_indptr, out_targets
+
+    def subgraph_edge_mask(self, vertex_mask: np.ndarray) -> np.ndarray:
+        """Boolean mask over canonical edges with both endpoints selected."""
+        vertex_mask = np.asarray(vertex_mask, dtype=bool)
+        if vertex_mask.shape[0] != self.num_vertices:
+            raise ValueError("vertex_mask must have one entry per vertex")
+        return vertex_mask[self.edge_u] & vertex_mask[self.edge_v]
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return f"Graph(n={self.num_vertices}, m={self.num_edges}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        same_structure = (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+        if not same_structure:
+            return False
+        if (self.arc_weights is None) != (other.arc_weights is None):
+            return False
+        if self.arc_weights is None:
+            return True
+        return np.allclose(self.arc_weights, other.arc_weights)
+
+    def __hash__(self) -> int:  # pragma: no cover - Graphs are not dict keys
+        return id(self)

@@ -1,0 +1,136 @@
+"""Structural graph properties: degeneracy, arboricity bounds, density.
+
+The paper's work bounds are phrased in terms of the *arboricity* α of the
+input graph (the minimum number of spanning forests needed to cover all
+edges).  Computing α exactly is expensive, but two standard facts give tight
+practical handles on it:
+
+* ``ceil(m / (n - 1)) <= α`` (each forest covers at most ``n - 1`` edges);
+* ``α <= degeneracy <= 2α - 1`` (Nash-Williams), where the degeneracy is the
+  largest minimum degree of any subgraph and is computable in linear time by
+  repeatedly peeling a minimum-degree vertex.
+
+The benchmark that validates Table 1 uses these bounds to relate measured
+work to the ``O((α + log n) m)`` expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import Graph
+
+
+def degeneracy_ordering(graph: Graph) -> tuple[np.ndarray, int]:
+    """Peel vertices in order of minimum remaining degree.
+
+    Returns ``(order, degeneracy)`` where ``order`` lists the vertices in the
+    order they were removed and ``degeneracy`` is the largest degree observed
+    at removal time.  Runs in ``O(n + m)`` using bucketed degrees.
+    """
+    n = graph.num_vertices
+    degrees = graph.degrees.copy()
+    max_degree = int(degrees.max(initial=0))
+
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for vertex in range(n):
+        buckets[int(degrees[vertex])].append(vertex)
+
+    removed = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    degeneracy = 0
+    current = 0
+    for position in range(n):
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        # The bucket queue is lazily cleaned: skip vertices whose degree has
+        # since decreased (they appear again in a lower bucket) or that were
+        # already removed.
+        while True:
+            vertex = buckets[current].pop()
+            if not removed[vertex] and degrees[vertex] == current:
+                break
+            while current <= max_degree and not buckets[current]:
+                current += 1
+        removed[vertex] = True
+        order[position] = vertex
+        degeneracy = max(degeneracy, current)
+        for neighbor in graph.neighbors(vertex):
+            neighbor = int(neighbor)
+            if not removed[neighbor] and degrees[neighbor] > 0:
+                degrees[neighbor] -= 1
+                buckets[int(degrees[neighbor])].append(neighbor)
+                if degrees[neighbor] < current:
+                    current = int(degrees[neighbor])
+    return order, degeneracy
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy (maximum core number) of the graph."""
+    _, value = degeneracy_ordering(graph)
+    return value
+
+
+def arboricity_lower_bound(graph: Graph) -> int:
+    """``ceil(m / (n - 1))``, a lower bound on the arboricity."""
+    n, m = graph.num_vertices, graph.num_edges
+    if n <= 1 or m == 0:
+        return 0 if m == 0 else 1
+    return int(np.ceil(m / (n - 1)))
+
+
+def arboricity_upper_bound(graph: Graph) -> int:
+    """The degeneracy, an upper bound on ``2α - 1`` and hence within 2x of α."""
+    return degeneracy(graph)
+
+
+def arboricity_estimate(graph: Graph) -> float:
+    """Point estimate of the arboricity: midpoint of the lower/upper bounds."""
+    lower = arboricity_lower_bound(graph)
+    upper = max(arboricity_upper_bound(graph), lower)
+    return (lower + upper) / 2.0
+
+
+def average_degree(graph: Graph) -> float:
+    """Average vertex degree ``2m / n`` (0 for the empty graph)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_vertices
+
+
+def density(graph: Graph) -> float:
+    """Fraction of possible edges present."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2)
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Row of the paper's Table 2 plus the structural quantities we report."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    weighted: bool
+    max_degree: int
+    average_degree: float
+    degeneracy: int
+    arboricity_lower: int
+
+    @classmethod
+    def of(cls, name: str, graph: Graph) -> "GraphSummary":
+        """Summarise ``graph`` under the label ``name``."""
+        return cls(
+            name=name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            weighted=graph.is_weighted,
+            max_degree=graph.max_degree,
+            average_degree=average_degree(graph),
+            degeneracy=degeneracy(graph),
+            arboricity_lower=arboricity_lower_bound(graph),
+        )

@@ -1,0 +1,100 @@
+"""Triangle counting on the degree-oriented graph.
+
+Computing SCAN similarities reduces to counting, for every edge, the number
+of triangles it participates in (the size of the common neighborhood of its
+endpoints).  This module provides the global and per-edge counts via the
+merge-based strategy of Shun and Tangwongsan that the paper's implementation
+adopts (Section 6.1): orient every edge toward its higher-degree endpoint,
+then for each remaining arc intersect the two out-neighbor lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from .graph import Graph
+
+
+def _intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted integer arrays (values, sorted)."""
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def count_triangles(graph: Graph, scheduler: Scheduler | None = None) -> int:
+    """Total number of triangles in the graph.
+
+    Uses the degree orientation so each triangle is counted exactly once, in
+    ``O(α m)`` work; when a scheduler is supplied the merge cost of each edge
+    is charged to it.
+    """
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    out_indptr, out_indices = graph.degree_ordered_arcs()
+    total = 0
+    total_work = 0.0
+    max_span = 0.0
+    n = graph.num_vertices
+    for u in range(n):
+        out_u = out_indices[out_indptr[u]:out_indptr[u + 1]]
+        for v in out_u:
+            out_v = out_indices[out_indptr[v]:out_indptr[v + 1]]
+            cost = out_u.shape[0] + out_v.shape[0]
+            total_work += cost
+            max_span = max(max_span, ceil_log2(max(cost, 1)) + 1.0)
+            total += int(_intersect_sorted(out_u, out_v).shape[0])
+    # The merges form one flat parallel loop over the oriented arcs.
+    scheduler.charge(total_work, max_span + ceil_log2(max(graph.num_edges, 1)) + 1.0)
+    return total
+
+
+def per_edge_triangle_counts(
+    graph: Graph,
+    scheduler: Scheduler | None = None,
+) -> np.ndarray:
+    """Number of triangles through each canonical edge.
+
+    For edge ``{u, v}`` this equals ``|N(u) ∩ N(v)|`` (open neighborhoods),
+    the quantity SCAN's structural similarity is built from.  Computed by
+    enumerating triangles once on the degree-oriented graph and incrementing
+    an atomic-style counter for each of the three edges of every triangle
+    found, as in the paper's implementation.
+    """
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    out_indptr, out_indices = graph.degree_ordered_arcs()
+    counts = np.zeros(graph.num_edges, dtype=np.int64)
+    total_work = 0.0
+    max_span = 0.0
+    n = graph.num_vertices
+    for u in range(n):
+        out_u = out_indices[out_indptr[u]:out_indptr[u + 1]]
+        for v in out_u:
+            v = int(v)
+            out_v = out_indices[out_indptr[v]:out_indptr[v + 1]]
+            cost = out_u.shape[0] + out_v.shape[0]
+            total_work += cost
+            max_span = max(max_span, ceil_log2(max(cost, 1)) + 1.0)
+            shared = _intersect_sorted(out_u, out_v)
+            if shared.shape[0] == 0:
+                continue
+            counts[graph.edge_id(u, v)] += shared.shape[0]
+            for x in shared:
+                x = int(x)
+                counts[graph.edge_id(u, x)] += 1
+                counts[graph.edge_id(v, x)] += 1
+    scheduler.charge(total_work, max_span + ceil_log2(max(graph.num_edges, 1)) + 1.0)
+    return counts
+
+
+def local_clustering_coefficient(graph: Graph) -> np.ndarray:
+    """Per-vertex local clustering coefficient (triangles over wedge count)."""
+    edge_counts = per_edge_triangle_counts(graph)
+    per_vertex = np.zeros(graph.num_vertices, dtype=np.float64)
+    edge_u, edge_v = graph.edge_list()
+    np.add.at(per_vertex, edge_u, edge_counts)
+    np.add.at(per_vertex, edge_v, edge_counts)
+    degrees = graph.degrees.astype(np.float64)
+    wedges = degrees * (degrees - 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coefficients = np.where(wedges > 0, per_vertex / wedges, 0.0)
+    return coefficients

@@ -1,0 +1,53 @@
+"""Locality-sensitive hashing: SimHash, MinHash, and approximate similarities."""
+
+from .simhash import (
+    box_muller,
+    estimate_angle,
+    estimate_cosine,
+    estimate_cosine_batch,
+    gaussian_projections,
+    simhash_sketches,
+)
+from .minhash import (
+    EMPTY_BUCKET,
+    estimate_jaccard,
+    estimate_jaccard_batch,
+    estimate_jaccard_k_partition,
+    k_partition_minhash_sketches,
+    minhash_sketches,
+)
+from .approximate import (
+    DEGREE_THRESHOLD_FACTOR,
+    ApproximationConfig,
+    compute_approximate_similarities,
+)
+from .theory import (
+    hoeffding_failure_probability,
+    minhash_required_samples,
+    minhash_uncertainty_interval,
+    simhash_required_samples,
+    simhash_uncertainty_interval,
+)
+
+__all__ = [
+    "box_muller",
+    "estimate_angle",
+    "estimate_cosine",
+    "estimate_cosine_batch",
+    "gaussian_projections",
+    "simhash_sketches",
+    "EMPTY_BUCKET",
+    "estimate_jaccard",
+    "estimate_jaccard_batch",
+    "estimate_jaccard_k_partition",
+    "k_partition_minhash_sketches",
+    "minhash_sketches",
+    "DEGREE_THRESHOLD_FACTOR",
+    "ApproximationConfig",
+    "compute_approximate_similarities",
+    "hoeffding_failure_probability",
+    "minhash_required_samples",
+    "minhash_uncertainty_interval",
+    "simhash_required_samples",
+    "simhash_uncertainty_interval",
+]

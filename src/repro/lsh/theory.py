@@ -1,0 +1,74 @@
+"""Sample-size bounds and misclassification intervals (Theorems 5.2 and 5.3).
+
+The theorems state that if enough LSH samples are drawn, then with high
+probability every edge whose exact similarity lies *outside* a small interval
+around the threshold ε is classified on the correct side of ε by the
+approximate similarity.  These helpers expose the bounds so users (and the
+property tests) can pick sample counts with guaranteed behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def simhash_required_samples(num_vertices: int, num_edges: int, delta: float) -> int:
+    """Samples needed by Theorem 5.2: ``k >= π² ln(n m) / (2 δ²)``."""
+    _validate(num_vertices, num_edges, delta)
+    return int(math.ceil(math.pi ** 2 * math.log(num_vertices * num_edges) / (2.0 * delta ** 2)))
+
+
+def minhash_required_samples(num_vertices: int, num_edges: int, delta: float) -> int:
+    """Samples needed by Theorem 5.3: ``k >= ln(n m) / (2 δ²)``."""
+    _validate(num_vertices, num_edges, delta)
+    return int(math.ceil(math.log(num_vertices * num_edges) / (2.0 * delta ** 2)))
+
+
+def simhash_uncertainty_interval(epsilon: float, delta: float) -> tuple[float, float]:
+    """Similarity interval around ε where SimHash misclassification is allowed.
+
+    Theorem 5.2 guarantees correct classification for edges with exact cosine
+    similarity outside ``(ε - δ, ε + sqrt(1 - ε²) δ)``.
+    """
+    _validate_threshold(epsilon, delta)
+    return (epsilon - delta, epsilon + math.sqrt(max(0.0, 1.0 - epsilon ** 2)) * delta)
+
+
+def minhash_uncertainty_interval(epsilon: float, delta: float) -> tuple[float, float]:
+    """Similarity interval around ε where MinHash misclassification is allowed.
+
+    Theorem 5.3 guarantees correct classification for edges with exact Jaccard
+    similarity outside ``(ε - δ, ε + δ)``.
+    """
+    _validate_threshold(epsilon, delta)
+    return (epsilon - delta, epsilon + delta)
+
+
+def hoeffding_failure_probability(num_samples: int, delta: float, *, simhash: bool = True) -> float:
+    """Per-edge failure probability bound used inside the theorem proofs.
+
+    For SimHash the estimate of the angle deviates by more than δ with
+    probability at most ``exp(-2 k δ² / π²)``; for MinHash the Jaccard
+    estimate deviates by more than δ with probability at most
+    ``exp(-2 k δ²)`` (Hoeffding's inequality).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    scale = math.pi ** 2 if simhash else 1.0
+    return math.exp(-2.0 * num_samples * delta ** 2 / scale)
+
+
+def _validate(num_vertices: int, num_edges: int, delta: float) -> None:
+    if num_vertices < 2 or num_edges < 1:
+        raise ValueError("bounds require at least 2 vertices and 1 edge")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+
+
+def _validate_threshold(epsilon: float, delta: float) -> None:
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError("epsilon must lie in [0, 1]")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")

@@ -1,0 +1,60 @@
+"""Simulated fork-join parallel runtime with work-span accounting.
+
+This package is the substrate on which the paper's parallel algorithms are
+expressed: a :class:`~repro.parallel.scheduler.Scheduler` that executes
+fork-join computations and charges their work and span to a
+:class:`~repro.parallel.metrics.WorkSpanCounter`, together with the standard
+parallel primitives the paper relies on (reduce, filter, scan, sorting,
+hash tables, union-find).
+"""
+
+from .metrics import CostReport, WorkSpanCounter, ceil_log2
+from .scheduler import PAPER_NUM_THREADS, Scheduler, sequential_scheduler
+from .primitives import (
+    parallel_count,
+    parallel_filter,
+    parallel_flatten,
+    parallel_map_array,
+    parallel_max,
+    parallel_pack_indices,
+    parallel_reduce,
+    parallel_scan,
+    remove_duplicates,
+)
+from .sorting import (
+    comparison_sort_permutation,
+    integer_sort_permutation,
+    rationals_to_sort_keys,
+    segmented_sort_by_key,
+    similarity_sort_keys,
+    sort_by_key,
+)
+from .hashtable import ParallelHashMap, ParallelHashSet
+from .unionfind import UnionFind
+
+__all__ = [
+    "CostReport",
+    "WorkSpanCounter",
+    "ceil_log2",
+    "PAPER_NUM_THREADS",
+    "Scheduler",
+    "sequential_scheduler",
+    "parallel_count",
+    "parallel_filter",
+    "parallel_flatten",
+    "parallel_map_array",
+    "parallel_max",
+    "parallel_pack_indices",
+    "parallel_reduce",
+    "parallel_scan",
+    "remove_duplicates",
+    "comparison_sort_permutation",
+    "integer_sort_permutation",
+    "rationals_to_sort_keys",
+    "segmented_sort_by_key",
+    "similarity_sort_keys",
+    "sort_by_key",
+    "ParallelHashMap",
+    "ParallelHashSet",
+    "UnionFind",
+]

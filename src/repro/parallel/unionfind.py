@@ -1,0 +1,99 @@
+"""Union-find (disjoint set union) in the style of GBBS ConnectIt.
+
+Section 6.2 of the paper replaces the theoretically clean parallel
+connectivity algorithm (Gazit) with a concurrent union-find, because
+union-find lets the query algorithm avoid materialising the core-core
+subgraph: the ε-similar core edges are simply "union"-ed and every core
+vertex is then "find"-ed to obtain its cluster id.
+
+This module provides union by rank with path compression, plus batch
+operations that charge the work-span costs the paper assumes for the
+connectivity step: linear work in the number of edges processed and
+logarithmic span (unions of independent edges proceed concurrently in the
+real implementation; we account for them as a parallel batch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import ceil_log2
+from .scheduler import Scheduler
+
+
+class UnionFind:
+    """Disjoint-set forest over the vertex ids ``0 .. n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"number of elements must be non-negative, got {n}")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._rank = np.zeros(n, dtype=np.int8)
+        self._num_components = n
+
+    def __len__(self) -> int:
+        return int(self._parent.shape[0])
+
+    @property
+    def num_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._num_components
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x``, with path compression."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; returns True if they were distinct."""
+        root_x = self.find(x)
+        root_y = self.find(y)
+        if root_x == root_y:
+            return False
+        rank = self._rank
+        if rank[root_x] < rank[root_y]:
+            root_x, root_y = root_y, root_x
+        self._parent[root_y] = root_x
+        if rank[root_x] == rank[root_y]:
+            rank[root_x] += 1
+        self._num_components -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """True when ``x`` and ``y`` are currently in the same set."""
+        return self.find(x) == self.find(y)
+
+    def union_batch(self, scheduler: Scheduler, edges_u: np.ndarray, edges_v: np.ndarray) -> None:
+        """Union every pair ``(edges_u[i], edges_v[i])``.
+
+        Charged as a concurrent batch: work linear in the number of edges,
+        span logarithmic (matching the connectivity bound the query analysis
+        relies on).
+        """
+        edges_u = np.asarray(edges_u, dtype=np.int64)
+        edges_v = np.asarray(edges_v, dtype=np.int64)
+        if edges_u.shape != edges_v.shape:
+            raise ValueError("edge endpoint arrays must have equal length")
+        scheduler.charge(int(edges_u.size), ceil_log2(int(edges_u.size)) + 1.0)
+        for u, v in zip(edges_u, edges_v):
+            self.union(int(u), int(v))
+
+    def find_batch(self, scheduler: Scheduler, vertices: np.ndarray) -> np.ndarray:
+        """Representatives of each vertex in ``vertices`` as an array."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        scheduler.charge(int(vertices.size), ceil_log2(int(vertices.size)) + 1.0)
+        return np.fromiter(
+            (self.find(int(v)) for v in vertices), dtype=np.int64, count=vertices.size
+        )
+
+    def component_labels(self, scheduler: Scheduler | None = None) -> np.ndarray:
+        """Label array mapping each element to its component representative."""
+        n = len(self)
+        if scheduler is not None:
+            scheduler.charge(n, ceil_log2(n) + 1.0)
+        return np.fromiter((self.find(i) for i in range(n)), dtype=np.int64, count=n)

@@ -1,0 +1,27 @@
+"""Clustering quality measures: modularity, adjusted Rand index, parameter sweeps."""
+
+from .modularity import coverage, modularity
+from .ari import adjusted_rand_index, rand_index
+from .sweep import (
+    SweepEntry,
+    SweepResult,
+    best_clustering,
+    epsilon_grid,
+    modularity_sweep,
+    mu_grid,
+    parameter_grid,
+)
+
+__all__ = [
+    "coverage",
+    "modularity",
+    "adjusted_rand_index",
+    "rand_index",
+    "SweepEntry",
+    "SweepResult",
+    "best_clustering",
+    "epsilon_grid",
+    "modularity_sweep",
+    "mu_grid",
+    "parameter_grid",
+]

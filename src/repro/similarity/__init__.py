@@ -1,0 +1,29 @@
+"""Structural similarity measures and the exact all-edge similarity engines."""
+
+from .measures import (
+    MEASURES,
+    angle_between,
+    closed_neighborhood_weights,
+    cosine_similarity_sets,
+    cosine_similarity_vectors,
+    dice_similarity,
+    edge_similarity_reference,
+    jaccard_similarity,
+    weighted_cosine_similarity,
+)
+from .exact import BACKENDS, EdgeSimilarities, compute_similarities
+
+__all__ = [
+    "MEASURES",
+    "angle_between",
+    "closed_neighborhood_weights",
+    "cosine_similarity_sets",
+    "cosine_similarity_vectors",
+    "dice_similarity",
+    "edge_similarity_reference",
+    "jaccard_similarity",
+    "weighted_cosine_similarity",
+    "BACKENDS",
+    "EdgeSimilarities",
+    "compute_similarities",
+]

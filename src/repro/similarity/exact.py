@@ -1,0 +1,247 @@
+"""Exact all-edge structural similarity computation (Algorithm 1 and Section 6.1).
+
+Three interchangeable backends compute the similarity score of every edge:
+
+* ``"merge"`` -- the optimisation the paper's implementation uses: orient each
+  edge toward its higher-degree endpoint and, for every remaining arc, merge
+  the two sorted out-neighbor lists.  Each triangle is found exactly once and
+  contributes to all three of its edges through atomic-style accumulation.
+  Work ``O(Σ min(d_u, d_v)) ⊆ O(α m)`` in the hash analysis, ``O(m^{3/2})``
+  for the merge variant; span ``O(log n)``.
+* ``"hash"`` -- the faithful rendering of Algorithm 1: a per-vertex hash set of
+  neighbors, probed with the lower-degree endpoint's neighbors.  Slower in
+  practice (cache behaviour in the paper, interpreter overhead here) but kept
+  as a reference backend and exercised in tests.
+* ``"matmul"`` -- for dense graphs, the numerators of all similarities are the
+  entries of ``W²`` where ``W`` is the weight matrix with unit diagonal
+  (Section 4.1.1); computed with numpy's BLAS-backed matrix multiplication.
+
+All backends return an :class:`EdgeSimilarities` holding one score per
+canonical edge of the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from .measures import MEASURES
+
+#: Backends accepted by :func:`compute_similarities`.
+BACKENDS = ("merge", "hash", "matmul")
+
+
+@dataclass
+class EdgeSimilarities:
+    """Similarity score for every canonical edge of a graph.
+
+    Attributes
+    ----------
+    graph:
+        The graph the scores belong to.
+    values:
+        Float array of length ``graph.num_edges`` aligned with the canonical
+        edge ids.
+    measure:
+        The similarity measure the scores were computed with (``cosine``,
+        ``jaccard``, ``dice``, or their ``approx_``-prefixed variants).
+    """
+
+    graph: Graph
+    values: np.ndarray
+    measure: str
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape[0] != self.graph.num_edges:
+            raise ValueError(
+                f"expected {self.graph.num_edges} similarity values, got {self.values.shape[0]}"
+            )
+
+    def of(self, u: int, v: int) -> float:
+        """Similarity of the edge ``{u, v}``."""
+        return float(self.values[self.graph.edge_id(u, v)])
+
+    def arc_values(self) -> np.ndarray:
+        """Scores replicated per arc, aligned with the graph's CSR ``indices``."""
+        return self.values[self.graph.arc_edge_ids]
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+
+def _closed_norms(graph: Graph, scheduler: Scheduler) -> np.ndarray:
+    """Per-vertex norm ``sqrt(Σ_{x ∈ N̄(v)} w(v,x)²)`` with ``w(v,v) = 1``."""
+    n = graph.num_vertices
+    if graph.arc_weights is None:
+        norms = np.sqrt(graph.degrees.astype(np.float64) + 1.0)
+    else:
+        squared = np.zeros(n, dtype=np.float64)
+        np.add.at(squared, graph.arc_sources(), graph.arc_weights ** 2)
+        norms = np.sqrt(squared + 1.0)
+    scheduler.charge(graph.num_arcs + n, ceil_log2(max(n, 1)) + 1.0)
+    return norms
+
+
+def _numerators_merge(graph: Graph, scheduler: Scheduler) -> np.ndarray:
+    """Closed-neighborhood dot product of every edge via oriented merges."""
+    oriented = graph.degree_oriented_csr()
+    numerators = np.zeros(graph.num_edges, dtype=np.float64)
+    # Base term: x = u and x = v both belong to the closed intersection and
+    # contribute w(u,v) * 1 each.
+    if graph.edge_weights is None:
+        numerators += 2.0
+    else:
+        numerators += 2.0 * graph.edge_weights
+
+    indptr, indices, edge_ids, weights = oriented
+    n = graph.num_vertices
+    # The per-arc merges run as one flat parallel loop: work adds up across
+    # arcs, span is the maximum single merge plus the fork-tree depth.
+    total_work = 0.0
+    max_span = 0.0
+    for u in range(n):
+        start_u, end_u = int(indptr[u]), int(indptr[u + 1])
+        if start_u == end_u:
+            continue
+        out_u = indices[start_u:end_u]
+        eid_u = edge_ids[start_u:end_u]
+        w_u = weights[start_u:end_u]
+        for position in range(start_u, end_u):
+            v = int(indices[position])
+            start_v, end_v = int(indptr[v]), int(indptr[v + 1])
+            if start_v == end_v:
+                continue
+            out_v = indices[start_v:end_v]
+            cost = (end_u - start_u) + (end_v - start_v)
+            total_work += cost
+            max_span = max(max_span, ceil_log2(max(cost, 1)) + 1.0)
+            shared, in_u, in_v = np.intersect1d(
+                out_u, out_v, assume_unique=True, return_indices=True
+            )
+            if shared.shape[0] == 0:
+                continue
+            eid_v = edge_ids[start_v:end_v]
+            w_v = weights[start_v:end_v]
+            edge_uv = int(edge_ids[position])
+            weight_uv = float(weights[position])
+            w_ux = w_u[in_u]
+            w_vx = w_v[in_v]
+            # Triangle {u, v, x}: each edge gains the product of the other two.
+            numerators[edge_uv] += float(np.dot(w_ux, w_vx))
+            np.add.at(numerators, eid_u[in_u], weight_uv * w_vx)
+            np.add.at(numerators, eid_v[in_v], weight_uv * w_ux)
+    scheduler.charge(total_work, max_span + ceil_log2(max(graph.num_edges, 1)) + 1.0)
+    return numerators
+
+
+def _numerators_hash(graph: Graph, scheduler: Scheduler) -> np.ndarray:
+    """Closed-neighborhood dot products following Algorithm 1 literally."""
+    numerators = np.zeros(graph.num_edges, dtype=np.float64)
+    edge_u, edge_v = graph.edge_list()
+    weighted = graph.arc_weights is not None
+    # neighbor_tables[v]: mapping neighbor -> weight, the "hash set" of Alg. 1.
+    neighbor_tables = [
+        dict(zip(graph.neighbors(v).tolist(), graph.neighbor_weights(v).tolist()))
+        for v in range(graph.num_vertices)
+    ]
+    scheduler.charge(graph.num_arcs, ceil_log2(max(graph.num_vertices, 1)) + 1.0)
+    total_work = 0.0
+    max_span = 0.0
+    for edge in range(graph.num_edges):
+        u, v = int(edge_u[edge]), int(edge_v[edge])
+        if graph.degree(u) > graph.degree(v):
+            u, v = v, u
+        table_v = neighbor_tables[v]
+        neighbors_u = graph.neighbors(u)
+        weights_u = graph.neighbor_weights(u)
+        total_work += neighbors_u.shape[0]
+        max_span = max(max_span, ceil_log2(max(neighbors_u.shape[0], 1)) + 1.0)
+        total = 0.0
+        for x, w_ux in zip(neighbors_u.tolist(), weights_u.tolist()):
+            w_vx = table_v.get(x)
+            if w_vx is not None:
+                total += w_ux * w_vx
+        weight_uv = graph.edge_weight(u, v) if weighted else 1.0
+        numerators[edge] = total + 2.0 * weight_uv
+    # One parallel loop over the edges (Algorithm 1, line 7).
+    scheduler.charge(total_work, max_span + ceil_log2(max(graph.num_edges, 1)) + 1.0)
+    return numerators
+
+
+def _numerators_matmul(graph: Graph, scheduler: Scheduler) -> np.ndarray:
+    """Closed-neighborhood dot products via the squared weight matrix."""
+    n = graph.num_vertices
+    matrix = graph.adjacency_matrix(include_self_loops=True)
+    scheduler.charge(float(n) ** 2.373, 2 * ceil_log2(max(n, 1)) + 1.0)
+    squared = matrix @ matrix
+    edge_u, edge_v = graph.edge_list()
+    return squared[edge_u, edge_v]
+
+
+def _finalise(
+    graph: Graph,
+    numerators: np.ndarray,
+    measure: str,
+    scheduler: Scheduler,
+) -> np.ndarray:
+    """Turn closed-intersection numerators into the requested similarity."""
+    edge_u, edge_v = graph.edge_list()
+    scheduler.charge(graph.num_edges, ceil_log2(max(graph.num_edges, 1)) + 1.0)
+    if measure == "cosine":
+        norms = _closed_norms(graph, scheduler)
+        return numerators / (norms[edge_u] * norms[edge_v])
+    closed_u = graph.degrees[edge_u].astype(np.float64) + 1.0
+    closed_v = graph.degrees[edge_v].astype(np.float64) + 1.0
+    if measure == "jaccard":
+        return numerators / (closed_u + closed_v - numerators)
+    # Dice.
+    return 2.0 * numerators / (closed_u + closed_v)
+
+
+def compute_similarities(
+    graph: Graph,
+    *,
+    measure: str = "cosine",
+    backend: str = "merge",
+    scheduler: Scheduler | None = None,
+) -> EdgeSimilarities:
+    """Similarity score of every edge of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.  Weighted graphs require ``measure="cosine"``.
+    measure:
+        ``"cosine"``, ``"jaccard"`` or ``"dice"``.
+    backend:
+        ``"merge"`` (default, Section 6.1), ``"hash"`` (Algorithm 1) or
+        ``"matmul"`` (dense graphs, Section 4.1.1).
+    scheduler:
+        Work-span accounting target; a fresh throw-away scheduler is used
+        when omitted.
+    """
+    if measure not in MEASURES:
+        raise ValueError(f"unknown measure {measure!r}; expected one of {MEASURES}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if graph.is_weighted and measure != "cosine":
+        raise ValueError("weighted graphs only support the (weighted) cosine measure")
+    scheduler = scheduler if scheduler is not None else Scheduler()
+
+    if graph.num_edges == 0:
+        return EdgeSimilarities(graph, np.zeros(0, dtype=np.float64), measure)
+
+    if backend == "merge":
+        numerators = _numerators_merge(graph, scheduler)
+    elif backend == "hash":
+        numerators = _numerators_hash(graph, scheduler)
+    else:
+        numerators = _numerators_matmul(graph, scheduler)
+
+    values = _finalise(graph, numerators, measure, scheduler)
+    return EdgeSimilarities(graph, values, measure)

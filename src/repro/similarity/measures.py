@@ -1,0 +1,127 @@
+"""Set- and vector-level structural similarity measures.
+
+SCAN scores the similarity of two *adjacent* vertices by comparing their
+closed neighborhoods.  The original paper uses cosine similarity of the
+closed neighborhoods; follow-up work (and GS*-Index) also considers Jaccard
+and Dice similarity, and the paper generalises cosine to weighted graphs.
+
+The functions in this module operate on explicit sets / weight vectors and
+serve as the *reference definitions*: the optimised all-edge engines in
+:mod:`repro.similarity.exact` are validated against them in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+#: Names of the supported structural similarity measures.
+MEASURES = ("cosine", "jaccard", "dice")
+
+
+def jaccard_similarity(a: Sequence[int] | np.ndarray, b: Sequence[int] | np.ndarray) -> float:
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` of two sets (0 when both empty)."""
+    set_a, set_b = set(map(int, a)), set(map(int, b))
+    union = len(set_a | set_b)
+    if union == 0:
+        return 0.0
+    return len(set_a & set_b) / union
+
+
+def cosine_similarity_sets(a: Sequence[int] | np.ndarray, b: Sequence[int] | np.ndarray) -> float:
+    """Cosine similarity ``|A ∩ B| / sqrt(|A| |B|)`` of two sets (0 when either empty)."""
+    set_a, set_b = set(map(int, a)), set(map(int, b))
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / math.sqrt(len(set_a) * len(set_b))
+
+
+def dice_similarity(a: Sequence[int] | np.ndarray, b: Sequence[int] | np.ndarray) -> float:
+    """Dice similarity ``2 |A ∩ B| / (|A| + |B|)`` of two sets (0 when both empty)."""
+    set_a, set_b = set(map(int, a)), set(map(int, b))
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / total
+
+
+def weighted_cosine_similarity(
+    items_a: Sequence[int],
+    weights_a: Sequence[float],
+    items_b: Sequence[int],
+    weights_b: Sequence[float],
+) -> float:
+    """Weighted cosine similarity of two sparse weight vectors.
+
+    ``items_*`` list the non-zero coordinates and ``weights_*`` their values.
+    Returns 0 when either vector is all zero.
+    """
+    map_a = {int(item): float(weight) for item, weight in zip(items_a, weights_a)}
+    map_b = {int(item): float(weight) for item, weight in zip(items_b, weights_b)}
+    numerator = sum(weight * map_b[item] for item, weight in map_a.items() if item in map_b)
+    norm_a = math.sqrt(sum(weight * weight for weight in map_a.values()))
+    norm_b = math.sqrt(sum(weight * weight for weight in map_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return numerator / (norm_a * norm_b)
+
+
+def cosine_similarity_vectors(u: np.ndarray, v: np.ndarray) -> float:
+    """Cosine similarity of two dense vectors (0 when either is the zero vector)."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    norm_u = float(np.linalg.norm(u))
+    norm_v = float(np.linalg.norm(v))
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 0.0
+    return float(u @ v) / (norm_u * norm_v)
+
+
+def angle_between(u: np.ndarray, v: np.ndarray) -> float:
+    """Angle in radians between two non-zero vectors, clamped to ``[0, π]``."""
+    cosine = cosine_similarity_vectors(u, v)
+    return math.acos(min(1.0, max(-1.0, cosine)))
+
+
+def closed_neighborhood_weights(graph: Graph, v: int) -> tuple[np.ndarray, np.ndarray]:
+    """Closed neighborhood of ``v`` and the matching weight vector.
+
+    Follows the paper's convention ``w(v, v) = 1`` for the self coordinate;
+    for unweighted graphs all weights are 1.
+    """
+    neighbors = graph.neighbors(v)
+    weights = graph.neighbor_weights(v)
+    position = int(np.searchsorted(neighbors, v))
+    items = np.insert(neighbors, position, v)
+    values = np.insert(weights, position, 1.0)
+    return items, values
+
+
+def edge_similarity_reference(graph: Graph, u: int, v: int, measure: str = "cosine") -> float:
+    """Similarity of adjacent vertices straight from the definition.
+
+    This is the slow, obviously correct implementation used to validate the
+    all-edge engines.  ``measure`` is one of ``cosine``, ``jaccard``, ``dice``;
+    weighted graphs only support ``cosine`` (the weighted generalisation).
+    """
+    if measure not in MEASURES:
+        raise ValueError(f"unknown measure {measure!r}; expected one of {MEASURES}")
+    if not graph.has_edge(u, v):
+        raise KeyError(f"({u}, {v}) is not an edge")
+    if graph.is_weighted:
+        if measure != "cosine":
+            raise ValueError(f"weighted graphs only support cosine similarity, got {measure!r}")
+        items_u, weights_u = closed_neighborhood_weights(graph, u)
+        items_v, weights_v = closed_neighborhood_weights(graph, v)
+        return weighted_cosine_similarity(items_u, weights_u, items_v, weights_v)
+    closed_u = graph.closed_neighborhood(u)
+    closed_v = graph.closed_neighborhood(v)
+    if measure == "cosine":
+        return cosine_similarity_sets(closed_u, closed_v)
+    if measure == "jaccard":
+        return jaccard_similarity(closed_u, closed_v)
+    return dice_similarity(closed_u, closed_v)

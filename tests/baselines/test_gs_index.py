@@ -1,0 +1,107 @@
+"""Tests for the sequential GS*-Index baseline."""
+
+import numpy as np
+import pytest
+
+from repro import ScanIndex
+from repro.baselines import GsStarIndex, scan_clustering
+from repro.parallel import Scheduler, sequential_scheduler
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    from repro.graphs import paper_example_graph, planted_partition
+
+    return {
+        "paper": paper_example_graph(),
+        "community": planted_partition(4, 30, p_intra=0.4, p_inter=0.01, seed=7),
+    }
+
+
+@pytest.fixture(scope="module")
+def gs_paper(graphs):
+    return GsStarIndex.build(graphs["paper"])
+
+
+@pytest.fixture(scope="module")
+def gs_community(graphs):
+    return GsStarIndex.build(graphs["community"])
+
+
+class TestConstruction:
+    def test_similarities_match_parallel_engine(self, graphs, gs_community):
+        parallel = ScanIndex.build(graphs["community"])
+        assert np.allclose(gs_community.similarities.values, parallel.similarities.values)
+
+    def test_neighbor_lists_sorted(self, gs_community):
+        for values in gs_community.neighbor_similarities:
+            assert np.all(np.diff(values) <= 1e-12)
+
+    def test_core_order_thresholds_sorted(self, gs_community):
+        for thresholds in gs_community.core_thresholds_by_mu[2:]:
+            assert np.all(np.diff(thresholds) <= 1e-12)
+
+    def test_weighted_graph_supported(self, weighted_graph):
+        index = GsStarIndex.build(weighted_graph)
+        parallel = ScanIndex.build(weighted_graph)
+        assert np.allclose(index.similarities.values, parallel.similarities.values)
+
+    def test_weighted_jaccard_rejected(self, weighted_graph):
+        with pytest.raises(ValueError):
+            GsStarIndex.build(weighted_graph, measure="jaccard")
+
+    def test_unknown_measure_rejected(self, graphs):
+        with pytest.raises(ValueError):
+            GsStarIndex.build(graphs["paper"], measure="overlap")
+
+    def test_construction_is_sequential_span_equals_work(self, graphs):
+        scheduler = sequential_scheduler()
+        GsStarIndex.build(graphs["paper"], scheduler=scheduler)
+        assert scheduler.counter.span == pytest.approx(scheduler.counter.work)
+
+    def test_construction_report(self, gs_paper):
+        assert gs_paper.construction_report.work > 0
+        assert gs_paper.construction_report.wall_seconds >= 0
+
+
+class TestQueries:
+    def test_cores_match_parallel_index(self, graphs, gs_community):
+        parallel = ScanIndex.build(graphs["community"])
+        for mu in (2, 3, 5, 9):
+            for epsilon in (0.2, 0.4, 0.6, 0.8):
+                ours = set(gs_community.core_vertices(mu, epsilon).tolist())
+                theirs = set(parallel.core_vertices(mu, epsilon).tolist())
+                assert ours == theirs
+
+    def test_paper_example_query(self, gs_paper):
+        clustering = gs_paper.query(3, 0.6)
+        clusters = {frozenset(v.tolist()) for v in clustering.clusters().values()}
+        assert clusters == {frozenset({0, 1, 2, 3}), frozenset({5, 6, 7, 10})}
+
+    def test_same_partition_as_scan(self, graphs, gs_community):
+        graph = graphs["community"]
+        for mu, epsilon in [(2, 0.3), (3, 0.4), (5, 0.2)]:
+            ours = gs_community.query(mu, epsilon)
+            reference = scan_clustering(
+                graph, mu, epsilon, similarities=gs_community.similarities
+            )
+            assert np.array_equal(ours.core_mask, reference.core_mask)
+            # Core partitions agree.
+            mapping = {}
+            for v in np.flatnonzero(ours.core_mask).tolist():
+                assert mapping.setdefault(ours.labels[v], reference.labels[v]) == (
+                    reference.labels[v]
+                )
+
+    def test_mu_above_max_degree_returns_nothing(self, gs_paper):
+        assert gs_paper.core_vertices(50, 0.1).size == 0
+        assert gs_paper.query(50, 0.1).num_clusters == 0
+
+    def test_invalid_mu(self, gs_paper):
+        with pytest.raises(ValueError):
+            gs_paper.core_vertices(1, 0.5)
+
+    def test_query_charges_scheduler(self, gs_paper):
+        scheduler = Scheduler(1)
+        gs_paper.query(3, 0.6, scheduler=scheduler)
+        assert scheduler.counter.work > 0

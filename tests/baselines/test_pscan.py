@@ -1,0 +1,96 @@
+"""Tests for the pruning-based pSCAN/ppSCAN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import pscan_clustering, scan_clustering
+from repro.graphs import from_edge_list, planted_partition
+from repro.parallel import Scheduler
+from repro.similarity import compute_similarities
+
+
+@pytest.fixture(scope="module")
+def community():
+    return planted_partition(4, 30, p_intra=0.4, p_inter=0.01, seed=7)
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_graph):
+        result = pscan_clustering(paper_graph, 3, 0.6)
+        clusters = {frozenset(v.tolist()) for v in result.clustering.clusters().values()}
+        assert clusters == {frozenset({0, 1, 2, 3}), frozenset({5, 6, 7, 10})}
+
+    def test_cores_match_scan_across_grid(self, community):
+        similarities = compute_similarities(community)
+        for mu in (2, 3, 5, 8):
+            for epsilon in (0.2, 0.4, 0.6):
+                ours = pscan_clustering(community, mu, epsilon).clustering
+                reference = scan_clustering(community, mu, epsilon, similarities=similarities)
+                assert np.array_equal(ours.core_mask, reference.core_mask)
+
+    def test_core_partition_matches_scan(self, community):
+        similarities = compute_similarities(community)
+        for mu, epsilon in [(2, 0.3), (3, 0.35), (5, 0.25)]:
+            ours = pscan_clustering(community, mu, epsilon).clustering
+            reference = scan_clustering(community, mu, epsilon, similarities=similarities)
+            mapping = {}
+            for v in np.flatnonzero(ours.core_mask).tolist():
+                assert mapping.setdefault(ours.labels[v], reference.labels[v]) == (
+                    reference.labels[v]
+                )
+
+    def test_border_vertices_attached_to_similar_core(self, community):
+        epsilon = 0.3
+        result = pscan_clustering(community, 3, epsilon)
+        clustering = result.clustering
+        similarities = compute_similarities(community)
+        for v in range(community.num_vertices):
+            if clustering.labels[v] == -1 or clustering.core_mask[v]:
+                continue
+            assert any(
+                clustering.core_mask[int(u)]
+                and clustering.labels[int(u)] == clustering.labels[v]
+                and similarities.of(v, int(u)) >= epsilon
+                for u in community.neighbors(v)
+            )
+
+    def test_invalid_parameters(self, paper_graph):
+        with pytest.raises(ValueError):
+            pscan_clustering(paper_graph, 1, 0.5)
+        with pytest.raises(ValueError):
+            pscan_clustering(paper_graph, 2, 1.5)
+
+
+class TestPruning:
+    def test_stats_record_total_edges(self, paper_graph):
+        result = pscan_clustering(paper_graph, 3, 0.6)
+        assert result.stats.total_edges == paper_graph.num_edges
+        assert 0 < result.stats.similarity_evaluations <= paper_graph.num_edges
+
+    def test_each_edge_evaluated_at_most_once(self, community):
+        result = pscan_clustering(community, 3, 0.4)
+        assert result.stats.similarity_evaluations <= community.num_edges
+
+    def test_pruning_skips_work_at_extreme_parameters(self, community):
+        # With mu far above every degree, effective_degree < mu immediately and
+        # no similarity needs to be evaluated.
+        result = pscan_clustering(community, 1000, 0.5)
+        assert result.stats.similarity_evaluations == 0
+        assert result.clustering.num_clusters == 0
+
+    def test_low_epsilon_prunes_after_mu_hits(self, community):
+        # With epsilon = 0 every evaluated edge is similar, so each vertex stops
+        # after at most mu evaluations: far fewer than all edges.
+        result = pscan_clustering(community, 3, 0.0)
+        assert result.stats.evaluated_fraction < 0.8
+
+    def test_evaluated_fraction_empty_graph(self):
+        graph = from_edge_list([], num_vertices=3)
+        result = pscan_clustering(graph, 2, 0.5)
+        assert result.stats.evaluated_fraction == 0.0
+
+    def test_charges_scheduler(self, community):
+        scheduler = Scheduler()
+        pscan_clustering(community, 3, 0.4, scheduler=scheduler)
+        assert scheduler.counter.work > 0
+        assert scheduler.counter.span < scheduler.counter.work

@@ -1,0 +1,75 @@
+"""Tests for the original SCAN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import find_core_vertices, scan_clustering
+from repro.graphs import from_edge_list, planted_partition
+from repro.similarity import compute_similarities
+
+
+class TestCores:
+    def test_paper_example_cores(self, paper_graph):
+        similarities = compute_similarities(paper_graph)
+        cores = find_core_vertices(paper_graph, similarities, 3, 0.6)
+        assert set(np.flatnonzero(cores).tolist()) == {0, 1, 2, 3, 5, 6, 7}
+
+    def test_mu_two_epsilon_zero_everything_with_a_neighbor_is_core(self, paper_graph):
+        similarities = compute_similarities(paper_graph)
+        cores = find_core_vertices(paper_graph, similarities, 2, 0.0)
+        assert cores.all()
+
+    def test_core_definition_counts_closed_neighborhood(self, paper_graph):
+        similarities = compute_similarities(paper_graph)
+        # Paper vertex 6 (0-based 5) has only 2 neighbors with sim >= 0.6, yet
+        # is a core for mu = 3 because the vertex itself is counted.
+        cores = find_core_vertices(paper_graph, similarities, 3, 0.6)
+        assert cores[5]
+
+
+class TestClustering:
+    def test_paper_example(self, paper_graph):
+        clustering = scan_clustering(paper_graph, 3, 0.6)
+        clusters = {frozenset(v.tolist()) for v in clustering.clusters().values()}
+        assert clusters == {frozenset({0, 1, 2, 3}), frozenset({5, 6, 7, 10})}
+
+    def test_precomputed_similarities_reused(self, paper_graph):
+        similarities = compute_similarities(paper_graph)
+        a = scan_clustering(paper_graph, 3, 0.6, similarities=similarities)
+        b = scan_clustering(paper_graph, 3, 0.6)
+        assert a.same_partition_as(b)
+
+    def test_cluster_members_are_connected_via_similar_core_edges(self):
+        graph = planted_partition(3, 25, p_intra=0.5, p_inter=0.02, seed=3)
+        clustering = scan_clustering(graph, 3, 0.3)
+        similarities = compute_similarities(graph)
+        # Every clustered core must have an epsilon-similar core neighbor in
+        # the same cluster (or be alone in its cluster).
+        for cluster_members in clustering.clusters().values():
+            cores_in_cluster = [
+                v for v in cluster_members.tolist() if clustering.core_mask[v]
+            ]
+            if len(cores_in_cluster) <= 1:
+                continue
+            for v in cores_in_cluster:
+                assert any(
+                    clustering.core_mask[int(u)]
+                    and clustering.labels[int(u)] == clustering.labels[v]
+                    and similarities.of(v, int(u)) >= 0.3
+                    for u in graph.neighbors(v)
+                )
+
+    def test_invalid_parameters(self, paper_graph):
+        with pytest.raises(ValueError):
+            scan_clustering(paper_graph, 1, 0.5)
+        with pytest.raises(ValueError):
+            scan_clustering(paper_graph, 2, -0.1)
+
+    def test_no_cores_means_no_clusters(self):
+        graph = from_edge_list([(0, 1), (1, 2), (2, 3)])
+        clustering = scan_clustering(graph, 5, 0.9)
+        assert clustering.num_clusters == 0
+
+    def test_jaccard_measure(self, paper_graph):
+        clustering = scan_clustering(paper_graph, 2, 0.5, measure="jaccard")
+        assert clustering.num_clusters >= 1

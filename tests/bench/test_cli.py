@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import paper_example_graph, write_edge_list
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.scale == "bench"
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "figure5", "--scale", "tiny", "--datasets", "orkut-like"]
+        )
+        assert args.experiment == "figure5"
+        assert args.scale == "tiny"
+        assert args.datasets == ["orkut-like"]
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster", "graph.txt"])
+        assert args.mu == 5 and args.epsilon == 0.6 and args.measure == "cosine"
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "orkut-like" in output and "cochlea-like" in output
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "figure5" in output and "table2" in output
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2", "--scale", "tiny"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_run_figure6_subset(self, capsys):
+        code = main(
+            ["run", "figure6", "--scale", "tiny", "--datasets", "webbase-like"]
+        )
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_cluster_command(self, tmp_path, capsys):
+        path = tmp_path / "paper.txt"
+        write_edge_list(paper_example_graph(), path)
+        assert main(["cluster", str(path), "--mu", "3", "--epsilon", "0.6"]) == 0
+        output = capsys.readouterr().out
+        assert "clusters: 2" in output
+        assert "hubs: 1" in output

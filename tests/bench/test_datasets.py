@@ -1,0 +1,67 @@
+"""Tests for the benchmark dataset registry."""
+
+import pytest
+
+from repro.bench import (
+    DATASETS,
+    UNWEIGHTED_DATASETS,
+    WEIGHTED_DATASETS,
+    dataset_summaries,
+    load_dataset,
+    paper_example,
+)
+
+
+class TestRegistry:
+    def test_six_datasets_registered(self):
+        assert len(DATASETS) == 6
+
+    def test_weighted_and_unweighted_split(self):
+        assert set(UNWEIGHTED_DATASETS) | set(WEIGHTED_DATASETS) == set(DATASETS)
+        assert not set(UNWEIGHTED_DATASETS) & set(WEIGHTED_DATASETS)
+        assert set(WEIGHTED_DATASETS) == {"blood-vessel-like", "cochlea-like"}
+
+    def test_paper_names_match_table2(self):
+        paper_names = {spec.paper_name for spec in DATASETS.values()}
+        assert paper_names == {
+            "Orkut", "brain", "WebBase", "Friendster", "blood vessel", "cochlea"
+        }
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("twitter-like")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("orkut-like", "huge")
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_tiny_scale_loads_and_matches_weight_flag(self, name):
+        graph = load_dataset(name, "tiny")
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+        assert graph.is_weighted == DATASETS[name].weighted
+
+    def test_tiny_smaller_than_bench(self):
+        tiny = load_dataset("orkut-like", "tiny")
+        bench = load_dataset("orkut-like", "bench")
+        assert tiny.num_edges < bench.num_edges
+
+    def test_deterministic(self):
+        assert load_dataset("webbase-like", "tiny") == load_dataset("webbase-like", "tiny")
+
+    def test_dense_stand_ins_are_denser(self):
+        brain = load_dataset("brain-like", "tiny")
+        orkut = load_dataset("orkut-like", "tiny")
+        assert (2 * brain.num_edges / brain.num_vertices) > (
+            2 * orkut.num_edges / orkut.num_vertices
+        )
+
+    def test_summaries_cover_all_datasets(self):
+        summaries = dataset_summaries("tiny")
+        assert {s.name for s in summaries} == set(DATASETS)
+
+    def test_paper_example_helper(self):
+        assert paper_example().num_vertices == 11

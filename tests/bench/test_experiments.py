@@ -1,0 +1,110 @@
+"""Smoke tests for every table/figure experiment driver at tiny scale."""
+
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    VARIANT_GS_INDEX,
+    VARIANT_PARALLEL,
+    figure5_index_construction,
+    figure6_query_vs_epsilon,
+    figure7_query_vs_mu,
+    figure8_approx_construction,
+    figure9_modularity_tradeoff,
+    figure10_ari_tradeoff,
+    table1_work_scaling,
+    table2_datasets,
+)
+
+SMALL = ("orkut-like", "cochlea-like")
+
+
+class TestRegistry:
+    def test_all_eight_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "figure5", "figure6", "figure7",
+            "figure8", "figure9", "figure10",
+        }
+
+
+class TestTables:
+    def test_table1_ratios_positive_and_bounded(self):
+        result = table1_work_scaling(sizes=(8, 16), cluster_size=20, num_samples=8)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            exact_ratio, approx_ratio = row[4], row[6]
+            assert 0 < exact_ratio < 50
+            assert 0 < approx_ratio < 50
+        assert "Table 1" in result.report()
+
+    def test_table2_lists_all_datasets(self):
+        result = table2_datasets("tiny")
+        assert len(result.rows) == 6
+        assert "Orkut" in {row[1] for row in result.rows}
+
+
+class TestConstructionFigures:
+    def test_figure5_shapes_hold(self):
+        result = figure5_index_construction(datasets=SMALL, scale="tiny")
+        measurements = result.extras["measurements"]
+        by_key = {(m.dataset, m.variant): m for m in measurements}
+        for dataset in SMALL:
+            parallel = by_key[(dataset, VARIANT_PARALLEL)]
+            sequential = by_key[(dataset, "GBBSIndexSCAN (1 thread)")]
+            assert parallel.simulated_seconds <= sequential.simulated_seconds
+        # GS*-Index is only run on unweighted graphs (as in the paper) and is
+        # slower than the parallel index there.
+        orkut_gs = by_key[("orkut-like", VARIANT_GS_INDEX)]
+        assert by_key[("orkut-like", VARIANT_PARALLEL)].simulated_seconds < (
+            orkut_gs.simulated_seconds
+        )
+
+    def test_figure8_jaccard_cheaper_than_cosine(self):
+        result = figure8_approx_construction(
+            datasets=("orkut-like",), scale="tiny", sample_counts=(8, 16)
+        )
+        cosine = {row[2]: row[5] for row in result.rows if row[1] == "approx cosine"}
+        jaccard = {row[2]: row[5] for row in result.rows if row[1] == "approx jaccard"}
+        for samples in (8, 16):
+            assert jaccard[samples] <= cosine[samples]
+
+
+class TestQueryFigures:
+    def test_figure6_index_beats_baselines(self):
+        result = figure6_query_vs_epsilon(
+            datasets=("orkut-like",), scale="tiny", epsilons=(0.2, 0.6)
+        )
+        rows = result.extras["measurements"]
+        parallel = [r for r in rows if r.variant == VARIANT_PARALLEL]
+        ppscan = [r for r in rows if r.variant == "ppSCAN (48 cores)"]
+        assert len(parallel) == len(ppscan) == 2
+        for fast, slow in zip(parallel, ppscan):
+            assert fast.simulated_seconds < slow.simulated_seconds
+
+    def test_figure7_runs_over_mu_grid(self):
+        result = figure7_query_vs_mu(datasets=("orkut-like",), scale="tiny", mus=(2, 4, 8))
+        mus = {row[1] for row in result.rows}
+        assert mus == {2, 4, 8}
+
+
+class TestQualityFigures:
+    def test_figure9_quality_improves_with_samples(self):
+        result = figure9_modularity_tradeoff(
+            datasets=("orkut-like",), scale="tiny",
+            sample_counts=(4, 64), num_trials=1, epsilon_step=0.1,
+        )
+        approx = {
+            row[2]: row[4] for row in result.rows if row[1] == "approx cosine"
+        }
+        exact = [row[4] for row in result.rows if row[1] == "exact cosine"][0]
+        assert approx[64] >= approx[4] - 0.05
+        assert approx[64] >= exact - 0.1
+
+    def test_figure10_ari_improves_with_samples(self):
+        result = figure10_ari_tradeoff(
+            datasets=("orkut-like",), scale="tiny",
+            sample_counts=(4, 64), num_trials=1, epsilon_step=0.1,
+        )
+        approx = {row[2]: row[4] for row in result.rows if row[1] == "approx cosine"}
+        assert approx[64] >= approx[4] - 0.05
+        assert approx[64] > 0.5

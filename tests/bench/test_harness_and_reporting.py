@@ -1,0 +1,111 @@
+"""Tests for the measurement harness and the text reporting helpers."""
+
+import pytest
+
+from repro.bench import (
+    VARIANT_GS_INDEX,
+    VARIANT_MATMUL,
+    VARIANT_PARALLEL,
+    VARIANT_PPSCAN,
+    VARIANT_SEQUENTIAL,
+    format_series,
+    format_table,
+    format_value,
+    load_dataset,
+    measure,
+    measure_index_construction,
+    measure_query,
+    rows_as_table,
+    speedup,
+)
+from repro.baselines import GsStarIndex
+from repro.core import ScanIndex
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return load_dataset("orkut-like", "tiny")
+
+
+class TestMeasure:
+    def test_records_work_span_and_wall(self, tiny_graph):
+        row = measure(
+            "tiny", "variant", 4,
+            lambda scheduler: ScanIndex.build(tiny_graph, scheduler=scheduler),
+        )
+        assert row.work > 0
+        assert row.span > 0
+        assert row.wall_seconds > 0
+        assert row.simulated_seconds > 0
+        assert row.details["result"] is not None
+
+    def test_more_workers_never_slower(self, tiny_graph):
+        sequential = measure(
+            "tiny", "seq", 1, lambda s: ScanIndex.build(tiny_graph, scheduler=s)
+        )
+        parallel = measure(
+            "tiny", "par", 96, lambda s: ScanIndex.build(tiny_graph, scheduler=s)
+        )
+        assert parallel.simulated_seconds <= sequential.simulated_seconds
+
+    def test_speedup_helper(self, tiny_graph):
+        rows = measure_index_construction("tiny", tiny_graph, include_matmul=False)
+        value = speedup(rows, VARIANT_GS_INDEX, VARIANT_PARALLEL)
+        assert value > 1.0
+
+    def test_speedup_missing_variant(self, tiny_graph):
+        rows = measure_index_construction("tiny", tiny_graph, include_matmul=False)
+        with pytest.raises(ValueError):
+            speedup(rows, "nonexistent", VARIANT_PARALLEL)
+
+
+class TestConstructionMeasurement:
+    def test_variants_present(self, tiny_graph):
+        rows = measure_index_construction("tiny", tiny_graph, include_matmul=True)
+        variants = {row.variant for row in rows}
+        assert variants == {
+            VARIANT_PARALLEL, VARIANT_SEQUENTIAL, VARIANT_GS_INDEX, VARIANT_MATMUL
+        }
+
+    def test_rows_as_table_shape(self, tiny_graph):
+        rows = measure_index_construction("tiny", tiny_graph, include_matmul=False)
+        headers, table = rows_as_table(rows)
+        assert len(headers) == 6
+        assert all(len(row) == 6 for row in table)
+
+
+class TestQueryMeasurement:
+    def test_all_variants_measured(self, tiny_graph):
+        index = ScanIndex.build(tiny_graph)
+        gs = GsStarIndex.build(tiny_graph)
+        rows = measure_query("tiny", tiny_graph, index, gs, mu=3, epsilon=0.4)
+        variants = {row.variant for row in rows}
+        assert variants == {
+            VARIANT_PARALLEL, VARIANT_SEQUENTIAL, VARIANT_GS_INDEX, VARIANT_PPSCAN
+        }
+
+    def test_weighted_style_subset(self, tiny_graph):
+        index = ScanIndex.build(tiny_graph)
+        rows = measure_query("tiny", tiny_graph, index, None, 3, 0.4, include_ppscan=False)
+        assert {row.variant for row in rows} == {VARIANT_PARALLEL, VARIANT_SEQUENTIAL}
+
+
+class TestReporting:
+    def test_format_value_types(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1.235e+06"
+        assert format_value(0.5) == "0.5"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [333, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_format_series(self):
+        text = format_series("Figure X", "eps", [0.1, 0.2], {"index": [1, 2], "scan": [3, 4]})
+        assert "Figure X" in text
+        assert "eps" in text and "index" in text and "scan" in text

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    dense_weighted_association,
+    from_edge_list,
+    paper_example_graph,
+    planted_partition,
+)
+from repro.parallel import Scheduler
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    """A fresh scheduler with the default (paper-sized) worker count."""
+    return Scheduler()
+
+
+@pytest.fixture
+def paper_graph():
+    """The 11-vertex worked example of Figure 1 (0-based vertex ids)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def triangle_graph():
+    """A single triangle on three vertices."""
+    return from_edge_list([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph():
+    """A path on five vertices (no triangles)."""
+    return from_edge_list([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def k5_graph():
+    """The complete graph on five vertices."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def community_graph():
+    """A small planted-partition graph with four clear communities."""
+    return planted_partition(4, 30, p_intra=0.4, p_inter=0.01, seed=7)
+
+
+@pytest.fixture
+def weighted_graph():
+    """A small dense weighted association graph."""
+    return dense_weighted_association(50, num_modules=3, density=0.4, seed=9)
+
+
+@pytest.fixture
+def rng():
+    """Seeded numpy random generator for tests that need randomness."""
+    return np.random.default_rng(12345)

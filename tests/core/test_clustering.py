@@ -1,0 +1,97 @@
+"""Tests for the Clustering result type."""
+
+import numpy as np
+import pytest
+
+from repro.core import UNCLUSTERED, Clustering
+
+
+def make(labels, cores=None, **kwargs):
+    labels = np.asarray(labels)
+    if cores is None:
+        cores = labels != UNCLUSTERED
+    return Clustering(labels, np.asarray(cores, dtype=bool), **kwargs)
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering(np.array([0, 1]), np.array([True]))
+
+    def test_masks_default_to_false(self):
+        clustering = make([0, 0, UNCLUSTERED])
+        assert not clustering.hub_mask.any()
+        assert not clustering.outlier_mask.any()
+
+    def test_parameters_recorded(self):
+        clustering = make([0], mu=7, epsilon=0.3)
+        assert clustering.mu == 7 and clustering.epsilon == 0.3
+
+
+class TestQueries:
+    def test_counts(self):
+        clustering = make([0, 0, 1, UNCLUSTERED, 1])
+        assert clustering.num_vertices == 5
+        assert clustering.num_clusters == 2
+        assert clustering.num_clustered_vertices == 4
+
+    def test_no_clusters(self):
+        clustering = make([UNCLUSTERED] * 3)
+        assert clustering.num_clusters == 0
+        assert clustering.num_clustered_vertices == 0
+
+    def test_is_clustered_and_cluster_of(self):
+        clustering = make([5, UNCLUSTERED])
+        assert clustering.is_clustered(0)
+        assert not clustering.is_clustered(1)
+        assert clustering.cluster_of(0) == 5
+        assert clustering.cluster_of(1) is None
+
+    def test_core_vertices(self):
+        clustering = make([0, 0, 0], cores=[True, False, True])
+        assert clustering.core_vertices().tolist() == [0, 2]
+        assert clustering.is_core(0) and not clustering.is_core(1)
+
+    def test_unclustered_vertices(self):
+        clustering = make([0, UNCLUSTERED, 1, UNCLUSTERED])
+        assert clustering.unclustered_vertices().tolist() == [1, 3]
+
+    def test_hubs_and_outliers_views(self):
+        clustering = make([UNCLUSTERED, UNCLUSTERED, 0])
+        clustering.hub_mask[0] = True
+        clustering.outlier_mask[1] = True
+        assert clustering.hubs().tolist() == [0]
+        assert clustering.outliers().tolist() == [1]
+
+
+class TestViews:
+    def test_clusters_mapping(self):
+        clustering = make([3, 3, 7, UNCLUSTERED])
+        clusters = clustering.clusters()
+        assert set(clusters.keys()) == {3, 7}
+        assert clusters[3].tolist() == [0, 1]
+        assert clusters[7].tolist() == [2]
+
+    def test_cluster_sizes_sorted_descending(self):
+        clustering = make([0, 0, 0, 1, 1, 2])
+        assert clustering.cluster_sizes().tolist() == [3, 2, 1]
+
+    def test_cluster_sizes_empty(self):
+        assert make([UNCLUSTERED]).cluster_sizes().size == 0
+
+    def test_canonical_labels_renumber_in_order(self):
+        clustering = make([9, UNCLUSTERED, 9, 4])
+        assert clustering.canonical_labels().tolist() == [0, UNCLUSTERED, 0, 1]
+
+    def test_same_partition_ignores_label_values(self):
+        a = make([5, 5, 8, UNCLUSTERED])
+        b = make([1, 1, 0, UNCLUSTERED])
+        assert a.same_partition_as(b)
+
+    def test_different_partitions_detected(self):
+        a = make([0, 0, 1])
+        b = make([0, 1, 1])
+        assert not a.same_partition_as(b)
+
+    def test_same_partition_requires_equal_length(self):
+        assert not make([0]).same_partition_as(make([0, 0]))

@@ -1,0 +1,89 @@
+"""Tests for doubling (galloping) search over non-increasing arrays."""
+
+import numpy as np
+import pytest
+
+from repro.core import prefix_length_at_least, prefix_length_greater_than
+from repro.parallel import Scheduler
+
+
+def brute_at_least(keys, threshold):
+    count = 0
+    for key in keys:
+        if key >= threshold:
+            count += 1
+        else:
+            break
+    return count
+
+
+class TestPrefixAtLeast:
+    def test_empty_array(self):
+        assert prefix_length_at_least(np.array([]), 0.5) == 0
+
+    def test_all_above(self):
+        assert prefix_length_at_least(np.array([0.9, 0.8, 0.7]), 0.5) == 3
+
+    def test_none_above(self):
+        assert prefix_length_at_least(np.array([0.4, 0.3]), 0.5) == 0
+
+    def test_boundary_inclusive(self):
+        assert prefix_length_at_least(np.array([0.9, 0.5, 0.1]), 0.5) == 2
+
+    def test_single_element(self):
+        assert prefix_length_at_least(np.array([0.5]), 0.5) == 1
+        assert prefix_length_at_least(np.array([0.4]), 0.5) == 0
+
+    @pytest.mark.parametrize("threshold", [0.0, 0.25, 0.5, 0.75, 0.99, 1.0])
+    def test_matches_linear_scan_on_random_arrays(self, rng, threshold):
+        for _ in range(20):
+            keys = np.sort(rng.random(rng.integers(1, 200)))[::-1]
+            assert prefix_length_at_least(keys, threshold) == brute_at_least(keys, threshold)
+
+    def test_matches_linear_scan_with_ties(self):
+        keys = np.array([0.8, 0.8, 0.8, 0.5, 0.5, 0.2])
+        for threshold in (0.9, 0.8, 0.5, 0.2, 0.1):
+            assert prefix_length_at_least(keys, threshold) == brute_at_least(keys, threshold)
+
+    def test_integer_keys(self):
+        keys = np.array([9, 7, 7, 3, 1])
+        assert prefix_length_at_least(keys, 7) == 3
+        assert prefix_length_at_least(keys, 8) == 1
+
+    def test_charges_logarithmic_work(self):
+        scheduler = Scheduler()
+        keys = np.sort(np.random.default_rng(0).random(10_000))[::-1]
+        prefix_length_at_least(keys, keys[100], scheduler=scheduler)
+        # Work should be on the order of log(answer), far below a linear scan.
+        assert scheduler.counter.work < 100
+
+    def test_charges_even_on_empty_prefix(self):
+        scheduler = Scheduler()
+        prefix_length_at_least(np.array([0.1]), 0.9, scheduler=scheduler)
+        assert scheduler.counter.work >= 1
+
+
+class TestPrefixGreaterThan:
+    def test_strict_threshold(self):
+        keys = np.array([0.9, 0.5, 0.5, 0.1])
+        assert prefix_length_greater_than(keys, 0.5) == 1
+        assert prefix_length_at_least(keys, 0.5) == 3
+
+    def test_empty_and_all_below(self):
+        assert prefix_length_greater_than(np.array([]), 0.5) == 0
+        assert prefix_length_greater_than(np.array([0.5, 0.4]), 0.5) == 0
+
+    def test_all_above(self):
+        assert prefix_length_greater_than(np.array([3.0, 2.0, 1.0]), 0.5) == 3
+
+    def test_matches_linear_scan(self, rng):
+        for _ in range(20):
+            keys = np.sort(rng.integers(0, 10, size=rng.integers(1, 100)))[::-1]
+            threshold = int(rng.integers(0, 10))
+            expected = 0
+            for key in keys:
+                if key > threshold:
+                    expected += 1
+                else:
+                    break
+            assert prefix_length_greater_than(keys, threshold) == expected

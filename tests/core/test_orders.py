@@ -1,0 +1,161 @@
+"""Tests for the neighbor order and core order index structures."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_core_order, build_neighbor_order
+from repro.graphs import paper_example_graph
+from repro.similarity import compute_similarities, edge_similarity_reference
+
+
+@pytest.fixture
+def paper_index_parts(paper_graph):
+    similarities = compute_similarities(paper_graph)
+    neighbor_order = build_neighbor_order(paper_graph, similarities)
+    core_order = build_core_order(paper_graph, neighbor_order)
+    return paper_graph, similarities, neighbor_order, core_order
+
+
+class TestNeighborOrder:
+    def test_neighbors_sorted_by_non_increasing_similarity(self, community_graph):
+        similarities = compute_similarities(community_graph)
+        order = build_neighbor_order(community_graph, similarities)
+        for v in range(community_graph.num_vertices):
+            values = order.similarities_of(v)
+            assert np.all(np.diff(values) <= 1e-12)
+
+    def test_same_neighbor_set_as_graph(self, paper_index_parts):
+        graph, _, order, _ = paper_index_parts
+        for v in range(graph.num_vertices):
+            assert sorted(order.neighbors_of(v).tolist()) == graph.neighbors(v).tolist()
+
+    def test_paper_figure2_order_for_vertex_4(self, paper_index_parts):
+        # Paper vertex 5 (0-based 4): NO = [6 (.58), 4 (.52)] -> 0-based [5, 3].
+        _, _, order, _ = paper_index_parts
+        assert order.neighbors_of(4).tolist() == [5, 3]
+
+    def test_paper_figure2_order_for_vertex_3(self, paper_index_parts):
+        # Paper vertex 4: NO = [2 (.89), 1 (.77), 3 (.77), 5 (.52)] -> [1, 0, 2, 4].
+        _, _, order, _ = paper_index_parts
+        assert order.neighbors_of(3).tolist() == [1, 0, 2, 4]
+
+    def test_similarities_match_scores(self, paper_index_parts):
+        graph, similarities, order, _ = paper_index_parts
+        for v in range(graph.num_vertices):
+            for neighbor, value in zip(order.neighbors_of(v), order.similarities_of(v)):
+                assert value == pytest.approx(similarities.of(v, int(neighbor)))
+
+    def test_epsilon_neighborhood_size_matches_definition(self, paper_index_parts):
+        graph, similarities, order, _ = paper_index_parts
+        for v in range(graph.num_vertices):
+            for epsilon in (0.3, 0.6, 0.75, 0.9):
+                expected = sum(
+                    1 for u in graph.neighbors(v)
+                    if similarities.of(v, int(u)) >= epsilon
+                )
+                assert order.epsilon_neighborhood_size(v, epsilon) == expected
+
+    def test_epsilon_neighbors_prefix(self, paper_index_parts):
+        _, similarities, order, _ = paper_index_parts
+        neighbors = order.epsilon_neighbors(3, 0.75)
+        assert all(similarities.of(3, int(u)) >= 0.75 for u in neighbors)
+
+    def test_core_threshold_values(self, paper_index_parts):
+        # Paper vertex 6 (0-based 5): thresholds .75 (mu=2), .75 (mu=3), .58 (mu=4).
+        _, _, order, _ = paper_index_parts
+        assert order.core_threshold(5, 2) == pytest.approx(0.75, abs=0.01)
+        assert order.core_threshold(5, 3) == pytest.approx(0.75, abs=0.01)
+        assert order.core_threshold(5, 4) == pytest.approx(0.58, abs=0.01)
+
+    def test_core_threshold_mu_one_is_one(self, paper_index_parts):
+        _, _, order, _ = paper_index_parts
+        assert order.core_threshold(9, 1) == 1.0
+
+    def test_core_threshold_exceeding_degree_is_none(self, paper_index_parts):
+        _, _, order, _ = paper_index_parts
+        assert order.core_threshold(9, 4) is None  # vertex 10 has degree 1
+
+    def test_integer_and_comparison_sort_agree(self, community_graph):
+        # The integer sort quantises the similarity scores, so neighbors whose
+        # scores differ by less than the quantisation step may swap; the
+        # similarity *sequences* must still agree to within that step.
+        similarities = compute_similarities(community_graph)
+        a = build_neighbor_order(community_graph, similarities, use_integer_sort=True)
+        b = build_neighbor_order(community_graph, similarities, use_integer_sort=False)
+        assert np.allclose(a.similarities, b.similarities, atol=2.0 / (1 << 20))
+        for v in range(0, community_graph.num_vertices, 7):
+            assert sorted(a.neighbors_of(v).tolist()) == sorted(b.neighbors_of(v).tolist())
+
+
+class TestCoreOrder:
+    def test_max_mu_is_max_closed_degree(self, paper_index_parts):
+        graph, _, _, core_order = paper_index_parts
+        assert core_order.max_mu == graph.max_degree + 1
+
+    def test_candidates_are_vertices_with_enough_neighbors(self, paper_index_parts):
+        graph, _, _, core_order = paper_index_parts
+        for mu in range(2, core_order.max_mu + 1):
+            vertices, _ = core_order.candidates(mu)
+            expected = {v for v in range(graph.num_vertices) if graph.degree(v) >= mu - 1}
+            assert set(vertices.tolist()) == expected
+
+    def test_paper_figure3_co3_membership(self, paper_index_parts):
+        # CO[3] holds the nine vertices whose closed neighborhood has >= 3
+        # members, i.e. paper vertices 1-9 (0-based 0-8).
+        _, _, _, core_order = paper_index_parts
+        vertices, _ = core_order.candidates(3)
+        assert set(vertices.tolist()) == set(range(9))
+
+    def test_thresholds_non_increasing(self, paper_index_parts):
+        _, _, _, core_order = paper_index_parts
+        for mu in range(2, core_order.max_mu + 1):
+            _, thresholds = core_order.candidates(mu)
+            assert np.all(np.diff(thresholds) <= 1e-12)
+
+    def test_thresholds_match_neighbor_order(self, paper_index_parts):
+        _, _, neighbor_order, core_order = paper_index_parts
+        for mu in range(2, core_order.max_mu + 1):
+            vertices, thresholds = core_order.candidates(mu)
+            for v, threshold in zip(vertices.tolist(), thresholds.tolist()):
+                assert threshold == pytest.approx(neighbor_order.core_threshold(v, mu))
+
+    def test_out_of_range_mu_has_no_candidates(self, paper_index_parts):
+        _, _, _, core_order = paper_index_parts
+        assert core_order.candidates(1)[0].size == 0
+        assert core_order.candidates(core_order.max_mu + 5)[0].size == 0
+
+    def test_cores_match_brute_force(self, community_graph):
+        similarities = compute_similarities(community_graph)
+        neighbor_order = build_neighbor_order(community_graph, similarities)
+        core_order = build_core_order(community_graph, neighbor_order)
+        for mu in (2, 3, 5, 9):
+            for epsilon in (0.2, 0.4, 0.6):
+                expected = set()
+                for v in range(community_graph.num_vertices):
+                    similar = sum(
+                        1 for u in community_graph.neighbors(v)
+                        if similarities.of(v, int(u)) >= epsilon
+                    )
+                    if similar + 1 >= mu:
+                        expected.add(v)
+                cores = set(core_order.cores(mu, epsilon).tolist())
+                assert cores == expected
+
+    def test_paper_example_cores(self, paper_index_parts):
+        # With (mu, eps) = (3, 0.6): cores are paper vertices 1,2,3,4,6,7,8
+        # (0-based 0,1,2,3,5,6,7).
+        _, _, _, core_order = paper_index_parts
+        assert set(core_order.cores(3, 0.6).tolist()) == {0, 1, 2, 3, 5, 6, 7}
+
+    def test_core_threshold_lookup(self, paper_index_parts):
+        _, _, _, core_order = paper_index_parts
+        assert core_order.core_threshold(5, 3) == pytest.approx(0.75, abs=0.01)
+        assert core_order.core_threshold(9, 4) is None
+
+    def test_integer_and_comparison_sort_agree(self, community_graph):
+        similarities = compute_similarities(community_graph)
+        order = build_neighbor_order(community_graph, similarities)
+        a = build_core_order(community_graph, order, use_integer_sort=True)
+        b = build_core_order(community_graph, order, use_integer_sort=False)
+        for mu in (2, 4, 8):
+            assert set(a.cores(mu, 0.5).tolist()) == set(b.cores(mu, 0.5).tolist())

@@ -1,0 +1,94 @@
+"""Tests for connected-component computation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    components_of_edge_set,
+    connected_components_bfs,
+    connected_components_unionfind,
+    empty_graph,
+    from_edge_list,
+    largest_component_size,
+    num_components,
+    relabel_components,
+)
+
+
+def _same_partition(a: np.ndarray, b: np.ndarray) -> bool:
+    mapping = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if mapping.setdefault(x, y) != y:
+            return False
+    reverse = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if reverse.setdefault(y, x) != x:
+            return False
+    return True
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = from_edge_list([(0, 1), (2, 3)], num_vertices=5)
+        labels = connected_components_bfs(graph)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert num_components(labels) == 3  # {0,1}, {2,3}, {4}
+
+    def test_connected_graph_single_component(self, paper_graph):
+        labels = connected_components_bfs(paper_graph)
+        assert num_components(labels) == 1
+
+    def test_empty_graph_all_singletons(self):
+        labels = connected_components_bfs(empty_graph(4))
+        assert num_components(labels) == 4
+
+    def test_bfs_and_unionfind_agree(self, community_graph):
+        bfs = connected_components_bfs(community_graph)
+        unionfind = connected_components_unionfind(community_graph)
+        assert _same_partition(bfs, unionfind)
+
+    def test_bfs_and_unionfind_agree_on_forest(self):
+        graph = from_edge_list([(0, 1), (1, 2), (4, 5), (6, 7), (7, 8)], num_vertices=10)
+        assert _same_partition(
+            connected_components_bfs(graph), connected_components_unionfind(graph)
+        )
+
+
+class TestEdgeSetComponents:
+    def test_only_listed_edges_matter(self):
+        labels = components_of_edge_set(6, np.array([0, 2]), np.array([1, 3]))
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] != labels[0] and labels[5] != labels[0]
+
+    def test_empty_edge_set(self):
+        labels = components_of_edge_set(3, np.array([], dtype=np.int64),
+                                        np.array([], dtype=np.int64))
+        assert num_components(labels) == 3
+
+
+class TestHelpers:
+    def test_largest_component_size(self):
+        labels = np.array([0, 0, 0, 1, 1, 2])
+        assert largest_component_size(labels) == 3
+
+    def test_largest_component_empty(self):
+        assert largest_component_size(np.array([], dtype=np.int64)) == 0
+
+    def test_num_components_empty(self):
+        assert num_components(np.array([], dtype=np.int64)) == 0
+
+    def test_relabel_components_dense(self):
+        labels = np.array([7, 7, 3, 9, 3])
+        dense = relabel_components(labels)
+        assert set(dense.tolist()) == {0, 1, 2}
+        assert dense[0] == dense[1]
+        assert dense[2] == dense[4]
+
+    def test_relabel_charges_scheduler(self):
+        from repro.parallel import Scheduler
+
+        scheduler = Scheduler()
+        relabel_components(np.array([1, 2, 1]), scheduler)
+        assert scheduler.counter.work == 3

@@ -1,0 +1,124 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    PAPER_EXAMPLE_EDGES,
+    dense_clustered_graph,
+    dense_weighted_association,
+    erdos_renyi,
+    hub_and_spoke_web,
+    paper_example_graph,
+    planted_partition,
+    planted_partition_labels,
+    preferential_attachment,
+    with_random_weights,
+)
+
+
+class TestPaperExample:
+    def test_matches_figure_one(self):
+        graph = paper_example_graph()
+        assert graph.num_vertices == 11
+        assert graph.num_edges == len(PAPER_EXAMPLE_EDGES) == 13
+
+    def test_specific_edges(self):
+        graph = paper_example_graph()
+        assert graph.has_edge(3, 4)   # bridge between the two communities
+        assert graph.has_edge(6, 10)  # border vertex 11 (paper numbering)
+        assert not graph.has_edge(0, 5)
+
+
+class TestErdosRenyi:
+    def test_deterministic_given_seed(self):
+        assert erdos_renyi(50, 0.1, seed=3) == erdos_renyi(50, 0.1, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(50, 0.1, seed=3) != erdos_renyi(50, 0.1, seed=4)
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi(200, 0.1, seed=0)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(graph.num_edges - expected) < 0.25 * expected
+
+    def test_probability_zero_and_one(self):
+        assert erdos_renyi(20, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(20, 1.0, seed=0).num_edges == 190
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_sparse_path_used_for_large_graphs(self):
+        graph = erdos_renyi(5000, 0.0004, seed=1)
+        assert 0 < graph.num_edges < 5000 * 4999 / 2 * 0.001
+
+
+class TestPlantedPartition:
+    def test_sizes(self):
+        graph = planted_partition(4, 25, seed=0)
+        assert graph.num_vertices == 100
+
+    def test_intra_cluster_denser_than_inter(self):
+        graph = planted_partition(4, 40, p_intra=0.4, p_inter=0.01, seed=1)
+        labels = planted_partition_labels(4, 40)
+        edge_u, edge_v = graph.edge_list()
+        intra = int((labels[edge_u] == labels[edge_v]).sum())
+        inter = graph.num_edges - intra
+        assert intra > 3 * inter
+
+    def test_labels_shape(self):
+        labels = planted_partition_labels(3, 10)
+        assert labels.shape == (30,)
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            planted_partition(0, 10)
+
+    def test_dense_clustered_variant_is_denser(self):
+        sparse = planted_partition(4, 30, p_intra=0.2, seed=2)
+        dense = dense_clustered_graph(4, 30, p_intra=0.8, seed=2)
+        assert dense.num_edges > sparse.num_edges
+
+
+class TestOtherGenerators:
+    def test_preferential_attachment_heavy_tail(self):
+        graph = preferential_attachment(300, 3, seed=0)
+        degrees = np.sort(graph.degrees)[::-1]
+        assert degrees[0] > 3 * np.median(degrees)
+
+    def test_preferential_attachment_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(5, 0)
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 5)
+
+    def test_hub_and_spoke_structure(self):
+        graph = hub_and_spoke_web(5, 20, seed=0)
+        assert graph.num_vertices == 5 * 21
+        # The hub of each group is connected to all its pages.
+        assert graph.degree(0) >= 20
+
+    def test_dense_weighted_association_weights_in_range(self):
+        graph = dense_weighted_association(60, seed=0)
+        assert graph.is_weighted
+        assert float(graph.edge_weights.min()) > 0.0
+        assert float(graph.edge_weights.max()) <= 1.0
+
+    def test_dense_weighted_association_density(self):
+        graph = dense_weighted_association(60, density=0.5, seed=0)
+        possible = 60 * 59 / 2
+        assert abs(graph.num_edges / possible - 0.5) < 0.1
+
+    def test_dense_weighted_association_invalid_density(self):
+        with pytest.raises(ValueError):
+            dense_weighted_association(10, density=0.0)
+
+    def test_with_random_weights(self, paper_graph):
+        weighted = with_random_weights(paper_graph, low=0.2, high=0.8, seed=1)
+        assert weighted.is_weighted
+        assert weighted.num_edges == paper_graph.num_edges
+        assert float(weighted.edge_weights.min()) >= 0.2
+        assert float(weighted.edge_weights.max()) <= 0.8

@@ -1,0 +1,96 @@
+"""Tests for degeneracy, arboricity bounds and graph summaries."""
+
+import pytest
+
+from repro.graphs import (
+    GraphSummary,
+    arboricity_estimate,
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    average_degree,
+    complete_graph,
+    degeneracy,
+    degeneracy_ordering,
+    density,
+    empty_graph,
+    from_edge_list,
+)
+
+
+class TestDegeneracy:
+    def test_path_graph(self, path_graph):
+        assert degeneracy(path_graph) == 1
+
+    def test_triangle(self, triangle_graph):
+        assert degeneracy(triangle_graph) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_star_graph(self):
+        star = from_edge_list([(0, i) for i in range(1, 10)])
+        assert degeneracy(star) == 1
+
+    def test_ordering_covers_all_vertices(self, paper_graph):
+        order, _ = degeneracy_ordering(paper_graph)
+        assert sorted(order.tolist()) == list(range(11))
+
+    def test_paper_example(self, paper_graph):
+        assert degeneracy(paper_graph) == 2
+
+    def test_empty_graph(self):
+        assert degeneracy(empty_graph(4)) == 0
+
+
+class TestArboricity:
+    def test_lower_bound_of_tree_is_one(self, path_graph):
+        assert arboricity_lower_bound(path_graph) == 1
+
+    def test_lower_bound_complete_graph(self):
+        graph = complete_graph(6)  # m=15, n=6 -> ceil(15/5) = 3
+        assert arboricity_lower_bound(graph) == 3
+
+    def test_upper_bound_at_least_lower(self, community_graph):
+        assert arboricity_upper_bound(community_graph) >= arboricity_lower_bound(
+            community_graph
+        )
+
+    def test_estimate_between_bounds(self, community_graph):
+        estimate = arboricity_estimate(community_graph)
+        assert arboricity_lower_bound(community_graph) <= estimate
+        assert estimate <= max(
+            arboricity_upper_bound(community_graph),
+            arboricity_lower_bound(community_graph),
+        )
+
+    def test_empty_graph(self):
+        assert arboricity_lower_bound(empty_graph(3)) == 0
+
+
+class TestDensityAndDegree:
+    def test_average_degree(self, triangle_graph):
+        assert average_degree(triangle_graph) == 2.0
+
+    def test_average_degree_empty(self):
+        assert average_degree(empty_graph(0)) == 0.0
+
+    def test_density_complete_graph(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_density_single_vertex(self):
+        assert density(empty_graph(1)) == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self, paper_graph):
+        summary = GraphSummary.of("example", paper_graph)
+        assert summary.name == "example"
+        assert summary.num_vertices == 11
+        assert summary.num_edges == 13
+        assert summary.weighted is False
+        assert summary.max_degree == 4
+        assert summary.degeneracy == 2
+        assert summary.average_degree == pytest.approx(26 / 11)
+
+    def test_summary_weighted_flag(self, weighted_graph):
+        assert GraphSummary.of("w", weighted_graph).weighted is True

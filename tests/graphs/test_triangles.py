@@ -1,0 +1,88 @@
+"""Tests for triangle counting and clustering coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    count_triangles,
+    from_edge_list,
+    local_clustering_coefficient,
+    per_edge_triangle_counts,
+)
+from repro.parallel import Scheduler
+
+
+class TestGlobalCount:
+    def test_triangle_graph(self, triangle_graph):
+        assert count_triangles(triangle_graph) == 1
+
+    def test_path_has_no_triangles(self, path_graph):
+        assert count_triangles(path_graph) == 0
+
+    def test_complete_graph(self):
+        # K5 has C(5,3) = 10 triangles.
+        assert count_triangles(complete_graph(5)) == 10
+
+    def test_paper_example(self, paper_graph):
+        # Triangles: {1,2,4}, {1,3,4}, {2,3,4} in paper numbering -> 3... plus
+        # {6,7,8}.  In 0-based ids: {0,1,3}, {0,2,3}?  0-2 not an edge; count
+        # directly against a brute-force reference instead.
+        brute = 0
+        n = paper_graph.num_vertices
+        for a in range(n):
+            for b in range(a + 1, n):
+                for c in range(b + 1, n):
+                    if (paper_graph.has_edge(a, b) and paper_graph.has_edge(b, c)
+                            and paper_graph.has_edge(a, c)):
+                        brute += 1
+        assert count_triangles(paper_graph) == brute
+
+    def test_charges_work_to_scheduler(self, triangle_graph):
+        scheduler = Scheduler()
+        count_triangles(triangle_graph, scheduler)
+        assert scheduler.counter.work > 0
+
+
+class TestPerEdgeCounts:
+    def test_triangle_graph_every_edge_in_one_triangle(self, triangle_graph):
+        counts = per_edge_triangle_counts(triangle_graph)
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_complete_graph_counts(self):
+        graph = complete_graph(5)
+        counts = per_edge_triangle_counts(graph)
+        # Every edge of K5 lies in exactly n - 2 = 3 triangles.
+        assert np.all(counts == 3)
+
+    def test_counts_match_common_neighbor_sizes(self, community_graph):
+        counts = per_edge_triangle_counts(community_graph)
+        edge_u, edge_v = community_graph.edge_list()
+        for edge in range(0, community_graph.num_edges, 17):
+            u, v = int(edge_u[edge]), int(edge_v[edge])
+            expected = np.intersect1d(
+                community_graph.neighbors(u), community_graph.neighbors(v)
+            ).shape[0]
+            assert counts[edge] == expected
+
+    def test_sum_is_three_times_triangle_count(self, paper_graph):
+        counts = per_edge_triangle_counts(paper_graph)
+        assert int(counts.sum()) == 3 * count_triangles(paper_graph)
+
+
+class TestClusteringCoefficient:
+    def test_triangle_graph_is_fully_clustered(self, triangle_graph):
+        assert np.allclose(local_clustering_coefficient(triangle_graph), 1.0)
+
+    def test_path_graph_is_zero(self, path_graph):
+        assert np.allclose(local_clustering_coefficient(path_graph), 0.0)
+
+    def test_values_in_unit_interval(self, community_graph):
+        coefficients = local_clustering_coefficient(community_graph)
+        assert float(coefficients.min()) >= 0.0
+        assert float(coefficients.max()) <= 1.0 + 1e-12
+
+    def test_star_center_zero(self):
+        star = from_edge_list([(0, i) for i in range(1, 6)])
+        coefficients = local_clustering_coefficient(star)
+        assert coefficients[0] == pytest.approx(0.0)

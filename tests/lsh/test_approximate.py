@@ -1,0 +1,115 @@
+"""Tests for approximate all-edge similarities with the low-degree heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import dense_clustered_graph, empty_graph, paper_example_graph
+from repro.lsh import ApproximationConfig, compute_approximate_similarities
+from repro.parallel import Scheduler
+from repro.similarity import compute_similarities
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ApproximationConfig()
+        assert config.measure == "cosine"
+        assert config.resolved_threshold() == 64
+
+    def test_jaccard_threshold_factor(self):
+        config = ApproximationConfig(measure="jaccard", num_samples=64)
+        assert config.resolved_threshold() == 96
+
+    def test_explicit_threshold_wins(self):
+        config = ApproximationConfig(num_samples=64, degree_threshold=10)
+        assert config.resolved_threshold() == 10
+
+    def test_invalid_measure(self):
+        with pytest.raises(ValueError):
+            ApproximationConfig(measure="dice")
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            ApproximationConfig(num_samples=0)
+
+
+class TestComputation:
+    def test_measure_label_prefixed(self, community_graph):
+        approx = compute_approximate_similarities(
+            community_graph, measure="cosine", num_samples=32
+        )
+        assert approx.measure == "approx_cosine"
+
+    def test_empty_graph(self):
+        approx = compute_approximate_similarities(empty_graph(3), num_samples=8)
+        assert len(approx) == 0
+
+    def test_config_and_kwargs_are_exclusive(self, paper_graph):
+        with pytest.raises(ValueError):
+            compute_approximate_similarities(
+                paper_graph, ApproximationConfig(), num_samples=8
+            )
+
+    def test_weighted_graph_rejects_jaccard(self, weighted_graph):
+        with pytest.raises(ValueError):
+            compute_approximate_similarities(weighted_graph, measure="jaccard", num_samples=8)
+
+    def test_low_degree_edges_are_exact(self, paper_graph):
+        # Every vertex of the example graph has degree <= 4 < threshold, so the
+        # heuristic computes every edge exactly.
+        exact = compute_similarities(paper_graph)
+        approx = compute_approximate_similarities(paper_graph, num_samples=32, seed=0)
+        assert np.allclose(approx.values, exact.values)
+
+    def test_low_degree_jaccard_edges_are_exact(self, paper_graph):
+        exact = compute_similarities(paper_graph, measure="jaccard")
+        approx = compute_approximate_similarities(
+            paper_graph, measure="jaccard", num_samples=32, seed=0
+        )
+        assert np.allclose(approx.values, exact.values)
+
+    def test_deterministic_given_seed(self, community_graph):
+        a = compute_approximate_similarities(
+            community_graph, num_samples=16, seed=3, degree_threshold=5
+        )
+        b = compute_approximate_similarities(
+            community_graph, num_samples=16, seed=3, degree_threshold=5
+        )
+        assert np.array_equal(a.values, b.values)
+
+    def test_accuracy_improves_with_samples(self):
+        graph = dense_clustered_graph(3, 40, p_intra=0.7, p_inter=0.02, seed=1)
+        exact = compute_similarities(graph)
+        errors = []
+        for k in (8, 64, 512):
+            approx = compute_approximate_similarities(
+                graph, measure="cosine", num_samples=k, seed=2, degree_threshold=4
+            )
+            errors.append(float(np.abs(approx.values - exact.values).mean()))
+        assert errors[2] < errors[0]
+        assert errors[2] < 0.05
+
+    def test_jaccard_accuracy_with_k_partition(self):
+        graph = dense_clustered_graph(3, 40, p_intra=0.7, p_inter=0.02, seed=1)
+        exact = compute_similarities(graph, measure="jaccard")
+        approx = compute_approximate_similarities(
+            graph, measure="jaccard", num_samples=512, seed=0, degree_threshold=4
+        )
+        assert float(np.abs(approx.values - exact.values).mean()) < 0.05
+
+    def test_values_in_unit_interval(self, community_graph):
+        approx = compute_approximate_similarities(
+            community_graph, num_samples=16, seed=1, degree_threshold=3
+        )
+        assert float(approx.values.min()) >= 0.0
+        assert float(approx.values.max()) <= 1.0 + 1e-9
+
+    def test_sketching_work_scales_with_samples(self):
+        graph = dense_clustered_graph(3, 40, p_intra=0.7, p_inter=0.02, seed=1)
+        small, large = Scheduler(), Scheduler()
+        compute_approximate_similarities(
+            graph, scheduler=small, num_samples=8, degree_threshold=4
+        )
+        compute_approximate_similarities(
+            graph, scheduler=large, num_samples=128, degree_threshold=4
+        )
+        assert large.counter.work > small.counter.work

@@ -1,0 +1,111 @@
+"""Tests for MinHash / k-partition MinHash sketching and Jaccard estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, paper_example_graph
+from repro.lsh import (
+    EMPTY_BUCKET,
+    estimate_jaccard,
+    estimate_jaccard_batch,
+    estimate_jaccard_k_partition,
+    k_partition_minhash_sketches,
+    minhash_sketches,
+)
+from repro.parallel import Scheduler
+from repro.similarity import compute_similarities
+
+
+class TestStandardMinHash:
+    def test_shape_and_determinism(self, paper_graph):
+        a = minhash_sketches(paper_graph, 16, seed=3)
+        b = minhash_sketches(paper_graph, 16, seed=3)
+        assert a.shape == (11, 16)
+        assert np.array_equal(a, b)
+
+    def test_invalid_sample_count(self, paper_graph):
+        with pytest.raises(ValueError):
+            minhash_sketches(paper_graph, 0)
+
+    def test_identical_neighborhoods_identical_sketches(self):
+        graph = complete_graph(6)
+        sketches = minhash_sketches(graph, 32, seed=0)
+        assert np.array_equal(sketches[0], sketches[3])
+
+    def test_estimate_identical(self):
+        sketch = np.array([5, 9, 1])
+        assert estimate_jaccard(sketch, sketch) == 1.0
+
+    def test_estimate_disjoint(self):
+        assert estimate_jaccard(np.array([1, 2, 3]), np.array([4, 5, 6])) == 0.0
+
+    def test_estimate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard(np.array([1]), np.array([1, 2]))
+
+    def test_empty_sketch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard(np.array([]), np.array([]))
+
+    def test_estimates_converge_to_exact(self, paper_graph):
+        exact = compute_similarities(paper_graph, measure="jaccard")
+        sketches = minhash_sketches(paper_graph, 2048, seed=1)
+        edge_u, edge_v = paper_graph.edge_list()
+        estimates = estimate_jaccard_batch(sketches, edge_u, edge_v, k_partition=False)
+        assert float(np.abs(estimates - exact.values).max()) < 0.08
+
+
+class TestKPartitionMinHash:
+    def test_shape_and_determinism(self, paper_graph):
+        a = k_partition_minhash_sketches(paper_graph, 16, seed=3)
+        b = k_partition_minhash_sketches(paper_graph, 16, seed=3)
+        assert a.shape == (11, 16)
+        assert np.array_equal(a, b)
+
+    def test_sketching_is_cheaper_than_standard_minhash(self, community_graph):
+        standard, partitioned = Scheduler(), Scheduler()
+        minhash_sketches(community_graph, 64, scheduler=standard)
+        k_partition_minhash_sketches(community_graph, 64, scheduler=partitioned)
+        assert partitioned.counter.work < standard.counter.work
+
+    def test_empty_buckets_marked(self, paper_graph):
+        # With far more buckets than elements most buckets stay empty.
+        sketches = k_partition_minhash_sketches(paper_graph, 256, seed=0)
+        assert int((sketches[0] == EMPTY_BUCKET).sum()) > 200
+
+    def test_estimate_ignores_jointly_empty_buckets(self):
+        a = np.array([EMPTY_BUCKET, 3, EMPTY_BUCKET, 7])
+        b = np.array([EMPTY_BUCKET, 3, 5, 7])
+        # Bucket 0 is jointly empty -> ignored; of the remaining 3, 2 match.
+        assert estimate_jaccard_k_partition(a, b) == pytest.approx(2 / 3)
+
+    def test_estimate_all_jointly_empty(self):
+        a = np.array([EMPTY_BUCKET, EMPTY_BUCKET])
+        assert estimate_jaccard_k_partition(a, a.copy()) == 0.0
+
+    def test_estimate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard_k_partition(np.array([1]), np.array([1, 2]))
+
+    def test_large_k_recovers_exact_jaccard(self, paper_graph):
+        # With k much larger than any closed neighborhood, one-permutation
+        # hashing degenerates to an exact intersection/union computation.
+        exact = compute_similarities(paper_graph, measure="jaccard")
+        sketches = k_partition_minhash_sketches(paper_graph, 4096, seed=2)
+        edge_u, edge_v = paper_graph.edge_list()
+        estimates = estimate_jaccard_batch(sketches, edge_u, edge_v, k_partition=True)
+        assert np.allclose(estimates, exact.values, atol=1e-9)
+
+    def test_batch_matches_scalar(self, paper_graph):
+        sketches = k_partition_minhash_sketches(paper_graph, 32, seed=4)
+        edge_u, edge_v = paper_graph.edge_list()
+        batch = estimate_jaccard_batch(sketches, edge_u, edge_v)
+        for i, (u, v) in enumerate(zip(edge_u.tolist(), edge_v.tolist())):
+            assert batch[i] == pytest.approx(
+                estimate_jaccard_k_partition(sketches[u], sketches[v])
+            )
+
+    def test_batch_length_mismatch(self, paper_graph):
+        sketches = k_partition_minhash_sketches(paper_graph, 8, seed=0)
+        with pytest.raises(ValueError):
+            estimate_jaccard_batch(sketches, np.array([0, 1]), np.array([1]))

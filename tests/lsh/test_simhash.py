@@ -1,0 +1,115 @@
+"""Tests for SimHash sketching and cosine estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, paper_example_graph
+from repro.lsh import (
+    box_muller,
+    estimate_angle,
+    estimate_cosine,
+    estimate_cosine_batch,
+    gaussian_projections,
+    simhash_sketches,
+)
+from repro.parallel import Scheduler
+from repro.similarity import compute_similarities
+
+
+class TestBoxMuller:
+    def test_length(self, rng):
+        assert box_muller(rng, 101).shape == (101,)
+
+    def test_mean_and_variance_near_standard_normal(self, rng):
+        samples = box_muller(rng, 50_000)
+        assert abs(float(samples.mean())) < 0.03
+        assert abs(float(samples.std()) - 1.0) < 0.03
+
+    def test_projections_shape_and_determinism(self):
+        a = gaussian_projections(8, 20, seed=3)
+        b = gaussian_projections(8, 20, seed=3)
+        assert a.shape == (8, 20)
+        assert np.array_equal(a, b)
+
+    def test_projections_different_seeds(self):
+        assert not np.array_equal(
+            gaussian_projections(8, 20, seed=1), gaussian_projections(8, 20, seed=2)
+        )
+
+
+class TestSketches:
+    def test_shape(self, paper_graph):
+        sketches = simhash_sketches(paper_graph, 16, seed=0)
+        assert sketches.shape == (11, 16)
+        assert sketches.dtype == bool
+
+    def test_deterministic_given_seed(self, paper_graph):
+        a = simhash_sketches(paper_graph, 32, seed=5)
+        b = simhash_sketches(paper_graph, 32, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_selected_vertices_only(self, paper_graph):
+        sketches = simhash_sketches(paper_graph, 8, seed=0, vertices=np.array([0, 1]))
+        # Unselected rows stay untouched (all False).
+        assert not sketches[5].any() or sketches.shape[0] == 11
+
+    def test_invalid_sample_count(self, paper_graph):
+        with pytest.raises(ValueError):
+            simhash_sketches(paper_graph, 0)
+
+    def test_charges_work_proportional_to_k(self, paper_graph):
+        small, large = Scheduler(), Scheduler()
+        simhash_sketches(paper_graph, 8, scheduler=small)
+        simhash_sketches(paper_graph, 64, scheduler=large)
+        assert large.counter.work > 4 * small.counter.work
+
+
+class TestEstimates:
+    def test_identical_sketches_give_similarity_one(self):
+        sketch = np.array([True, False, True, True])
+        assert estimate_cosine(sketch, sketch) == pytest.approx(1.0)
+
+    def test_opposite_sketches_clip_to_zero(self):
+        a = np.array([True] * 8)
+        b = np.array([False] * 8)
+        assert estimate_cosine(a, b) == 0.0
+
+    def test_angle_half_disagreement(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, False, True])
+        assert estimate_angle(a, b) == pytest.approx(math.pi / 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_cosine(np.array([True]), np.array([True, False]))
+
+    def test_empty_sketch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_angle(np.array([], dtype=bool), np.array([], dtype=bool))
+
+    def test_identical_vertices_of_complete_graph(self):
+        graph = complete_graph(8)
+        sketches = simhash_sketches(graph, 64, seed=0)
+        # All closed neighborhoods are identical, so all sketches agree.
+        assert estimate_cosine(sketches[0], sketches[5]) == pytest.approx(1.0)
+
+    def test_estimates_converge_to_exact(self, paper_graph):
+        exact = compute_similarities(paper_graph)
+        sketches = simhash_sketches(paper_graph, 4096, seed=1)
+        edge_u, edge_v = paper_graph.edge_list()
+        estimates = estimate_cosine_batch(sketches, edge_u, edge_v)
+        assert float(np.abs(estimates - exact.values).max()) < 0.08
+
+    def test_batch_matches_scalar(self, paper_graph):
+        sketches = simhash_sketches(paper_graph, 32, seed=2)
+        edge_u, edge_v = paper_graph.edge_list()
+        batch = estimate_cosine_batch(sketches, edge_u, edge_v)
+        for i, (u, v) in enumerate(zip(edge_u.tolist(), edge_v.tolist())):
+            assert batch[i] == pytest.approx(estimate_cosine(sketches[u], sketches[v]))
+
+    def test_batch_length_mismatch(self, paper_graph):
+        sketches = simhash_sketches(paper_graph, 8, seed=0)
+        with pytest.raises(ValueError):
+            estimate_cosine_batch(sketches, np.array([0]), np.array([1, 2]))

@@ -1,0 +1,94 @@
+"""Tests for the sample-size bounds of Theorems 5.2 and 5.3."""
+
+import math
+
+import pytest
+
+from repro.lsh import (
+    hoeffding_failure_probability,
+    minhash_required_samples,
+    minhash_uncertainty_interval,
+    simhash_required_samples,
+    simhash_uncertainty_interval,
+)
+
+
+class TestRequiredSamples:
+    def test_simhash_formula(self):
+        n, m, delta = 1000, 5000, 0.1
+        expected = math.ceil(math.pi ** 2 * math.log(n * m) / (2 * delta ** 2))
+        assert simhash_required_samples(n, m, delta) == expected
+
+    def test_minhash_formula(self):
+        n, m, delta = 1000, 5000, 0.1
+        expected = math.ceil(math.log(n * m) / (2 * delta ** 2))
+        assert minhash_required_samples(n, m, delta) == expected
+
+    def test_simhash_needs_more_samples_than_minhash(self):
+        assert simhash_required_samples(100, 500, 0.2) > minhash_required_samples(100, 500, 0.2)
+
+    def test_samples_grow_as_delta_shrinks(self):
+        assert minhash_required_samples(100, 500, 0.05) > minhash_required_samples(100, 500, 0.2)
+
+    def test_samples_grow_with_graph_size(self):
+        assert minhash_required_samples(10_000, 1_000_000, 0.1) > minhash_required_samples(
+            100, 500, 0.1
+        )
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(ValueError):
+            simhash_required_samples(100, 500, delta)
+
+    def test_invalid_graph_size(self):
+        with pytest.raises(ValueError):
+            minhash_required_samples(1, 0, 0.1)
+
+
+class TestUncertaintyIntervals:
+    def test_minhash_interval_symmetric(self):
+        low, high = minhash_uncertainty_interval(0.5, 0.1)
+        assert low == pytest.approx(0.4)
+        assert high == pytest.approx(0.6)
+
+    def test_simhash_interval_asymmetric(self):
+        low, high = simhash_uncertainty_interval(0.9, 0.1)
+        assert low == pytest.approx(0.8)
+        assert high == pytest.approx(0.9 + math.sqrt(1 - 0.81) * 0.1)
+
+    def test_simhash_interval_at_epsilon_one_collapses_above(self):
+        low, high = simhash_uncertainty_interval(1.0, 0.1)
+        assert high == pytest.approx(1.0)
+        assert low == pytest.approx(0.9)
+
+    def test_interval_contains_epsilon(self):
+        for epsilon in (0.1, 0.5, 0.9):
+            low, high = simhash_uncertainty_interval(epsilon, 0.05)
+            assert low <= epsilon <= high
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            simhash_uncertainty_interval(1.5, 0.1)
+
+
+class TestHoeffding:
+    def test_probability_decreases_with_samples(self):
+        assert hoeffding_failure_probability(1000, 0.1) < hoeffding_failure_probability(10, 0.1)
+
+    def test_simhash_bound_is_weaker(self):
+        assert hoeffding_failure_probability(100, 0.1, simhash=True) > (
+            hoeffding_failure_probability(100, 0.1, simhash=False)
+        )
+
+    def test_theorem_sample_count_reaches_union_bound_target(self):
+        # With the Theorem 5.3 sample count the per-edge failure probability
+        # is at most 1 / (n m).
+        n, m, delta = 200, 1000, 0.1
+        k = minhash_required_samples(n, m, delta)
+        assert hoeffding_failure_probability(k, delta, simhash=False) <= 1.0 / (n * m) + 1e-12
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            hoeffding_failure_probability(0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_failure_probability(10, 1.5)

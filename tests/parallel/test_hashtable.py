@@ -1,0 +1,125 @@
+"""Tests for the open-addressing parallel hash set / map."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelHashMap, ParallelHashSet, Scheduler
+
+
+@pytest.fixture
+def s():
+    return Scheduler()
+
+
+class TestHashSet:
+    def test_empty_set(self):
+        table = ParallelHashSet()
+        assert len(table) == 0
+        assert 5 not in table
+
+    def test_add_and_contains(self):
+        table = ParallelHashSet()
+        table.add(42)
+        assert 42 in table
+        assert 41 not in table
+
+    def test_add_is_idempotent(self):
+        table = ParallelHashSet()
+        table.add(7)
+        table.add(7)
+        assert len(table) == 1
+
+    def test_negative_keys_rejected(self):
+        table = ParallelHashSet()
+        with pytest.raises(ValueError):
+            table.add(-1)
+
+    def test_negative_lookup_is_false(self):
+        table = ParallelHashSet()
+        assert -3 not in table
+
+    def test_batch_insert_and_lookup(self, s):
+        table = ParallelHashSet(4)
+        table.add_batch(s, np.array([1, 5, 9, 5, 1]))
+        assert len(table) == 3
+        hits = table.contains_batch(s, np.array([1, 2, 5, 9, 10]))
+        assert hits.tolist() == [True, False, True, True, False]
+
+    def test_grows_beyond_initial_capacity(self, s):
+        table = ParallelHashSet(2)
+        keys = np.arange(1000)
+        table.add_batch(s, keys)
+        assert len(table) == 1000
+        assert all(int(k) in table for k in keys[::97])
+
+    def test_to_array_returns_all_keys(self, s):
+        table = ParallelHashSet()
+        table.add_batch(s, np.array([4, 2, 8]))
+        assert table.to_array().tolist() == [2, 4, 8]
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ValueError):
+            ParallelHashSet(load_factor=1.5)
+
+    def test_colliding_keys_all_stored(self, s):
+        # Keys a multiple of the capacity apart tend to collide after masking.
+        table = ParallelHashSet(4)
+        keys = np.array([8, 16, 24, 32, 40, 48])
+        table.add_batch(s, keys)
+        assert all(int(k) in table for k in keys)
+
+
+class TestHashMap:
+    def test_set_and_get(self):
+        table = ParallelHashMap()
+        table[3] = 30
+        assert table[3] == 30
+        assert table.get(4) is None
+        assert table.get(4, -1) == -1
+
+    def test_overwrite_keeps_single_entry(self):
+        table = ParallelHashMap()
+        table[3] = 30
+        table[3] = 99
+        assert len(table) == 1
+        assert table[3] == 99
+
+    def test_missing_key_raises(self):
+        table = ParallelHashMap()
+        with pytest.raises(KeyError):
+            table[11]
+
+    def test_contains(self):
+        table = ParallelHashMap()
+        table[1] = 2
+        assert 1 in table
+        assert 2 not in table
+        assert -1 not in table
+
+    def test_negative_key_rejected(self):
+        table = ParallelHashMap()
+        with pytest.raises(ValueError):
+            table[-5] = 0
+
+    def test_batch_set(self, s):
+        table = ParallelHashMap(2)
+        table.set_batch(s, np.arange(100), np.arange(100) * 2)
+        assert len(table) == 100
+        assert table[37] == 74
+
+    def test_batch_length_mismatch(self, s):
+        table = ParallelHashMap()
+        with pytest.raises(ValueError):
+            table.set_batch(s, np.arange(3), np.arange(2))
+
+    def test_items_sorted_by_key(self, s):
+        table = ParallelHashMap()
+        table.set_batch(s, np.array([5, 1, 3]), np.array([50, 10, 30]))
+        assert table.items() == [(1, 10), (3, 30), (5, 50)]
+
+    def test_growth_preserves_values(self, s):
+        table = ParallelHashMap(2)
+        for key in range(200):
+            table[key] = key * key
+        assert table[141] == 141 * 141
+        assert len(table) == 200

@@ -1,0 +1,106 @@
+"""Tests for the data-parallel array primitives."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Scheduler,
+    parallel_count,
+    parallel_filter,
+    parallel_flatten,
+    parallel_map_array,
+    parallel_max,
+    parallel_pack_indices,
+    parallel_reduce,
+    parallel_scan,
+    remove_duplicates,
+)
+
+
+@pytest.fixture
+def s():
+    return Scheduler()
+
+
+class TestReduce:
+    def test_sum(self, s):
+        assert parallel_reduce(s, [1, 2, 3, 4]) == 10
+
+    def test_empty_sum_is_zero(self, s):
+        assert parallel_reduce(s, []) == 0
+
+    def test_custom_operation(self, s):
+        assert parallel_reduce(s, [3, 9, 1], operation=np.max) == 9
+
+    def test_charges_linear_work_log_span(self, s):
+        parallel_reduce(s, np.ones(1024))
+        assert s.counter.work == 1024
+        assert s.counter.span == pytest.approx(11)
+
+    def test_max_raises_on_empty(self, s):
+        with pytest.raises(ValueError):
+            parallel_max(s, [])
+
+    def test_max(self, s):
+        assert parallel_max(s, [5, -1, 12, 3]) == 12
+
+
+class TestFilterAndPack:
+    def test_filter_keeps_masked(self, s):
+        values = np.array([10, 20, 30, 40])
+        out = parallel_filter(s, values, np.array([True, False, True, False]))
+        assert out.tolist() == [10, 30]
+
+    def test_filter_length_mismatch(self, s):
+        with pytest.raises(ValueError):
+            parallel_filter(s, np.arange(3), np.array([True]))
+
+    def test_pack_indices(self, s):
+        mask = np.array([False, True, True, False, True])
+        assert parallel_pack_indices(s, mask).tolist() == [1, 2, 4]
+
+    def test_count(self, s):
+        assert parallel_count(s, np.array([True, False, True])) == 2
+
+
+class TestScan:
+    def test_exclusive_scan(self, s):
+        prefix, total = parallel_scan(s, np.array([1, 2, 3, 4]))
+        assert prefix.tolist() == [0, 1, 3, 6]
+        assert total == 10
+
+    def test_inclusive_scan(self, s):
+        prefix, total = parallel_scan(s, np.array([1, 2, 3]), inclusive=True)
+        assert prefix.tolist() == [1, 3, 6]
+        assert total == 6
+
+    def test_empty_scan(self, s):
+        prefix, total = parallel_scan(s, np.array([], dtype=np.int64))
+        assert prefix.size == 0 and total == 0
+
+
+class TestMapAndDuplicates:
+    def test_map_array(self, s):
+        out = parallel_map_array(s, np.array([1.0, 4.0, 9.0]), np.sqrt)
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_remove_duplicates(self, s):
+        out = remove_duplicates(s, np.array([3, 1, 3, 2, 1]))
+        assert sorted(out.tolist()) == [1, 2, 3]
+
+    def test_remove_duplicates_charges_constant_span(self, s):
+        remove_duplicates(s, np.arange(10_000))
+        assert s.counter.span <= 5.0
+
+
+class TestFlatten:
+    def test_concatenates_chunks(self, s):
+        out = parallel_flatten(s, [np.array([1, 2]), np.array([3]), np.array([4, 5])])
+        assert out.tolist() == [1, 2, 3, 4, 5]
+
+    def test_empty_chunk_list(self, s):
+        assert parallel_flatten(s, []).size == 0
+
+    def test_all_empty_chunks(self, s):
+        out = parallel_flatten(s, [np.array([], dtype=np.int64), np.array([], dtype=np.int64)])
+        assert out.size == 0

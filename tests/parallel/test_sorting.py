@@ -1,0 +1,160 @@
+"""Tests for the parallel sorting primitives and the rational-to-integer trick."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Scheduler,
+    comparison_sort_permutation,
+    integer_sort_permutation,
+    rationals_to_sort_keys,
+    segmented_sort_by_key,
+    similarity_sort_keys,
+    sort_by_key,
+)
+
+
+@pytest.fixture
+def s():
+    return Scheduler()
+
+
+class TestComparisonSort:
+    def test_ascending(self, s):
+        keys = np.array([3.0, 1.0, 2.0])
+        order = comparison_sort_permutation(s, keys)
+        assert keys[order].tolist() == [1.0, 2.0, 3.0]
+
+    def test_descending(self, s):
+        keys = np.array([3.0, 1.0, 2.0])
+        order = comparison_sort_permutation(s, keys, descending=True)
+        assert keys[order].tolist() == [3.0, 2.0, 1.0]
+
+    def test_stability_on_ties(self, s):
+        keys = np.array([1.0, 2.0, 1.0, 2.0])
+        order = comparison_sort_permutation(s, keys)
+        assert order.tolist() == [0, 2, 1, 3]
+
+    def test_charges_n_log_n_work(self, s):
+        comparison_sort_permutation(s, np.arange(1024, dtype=np.float64))
+        assert s.counter.work == pytest.approx(1024 * 11)
+
+    def test_empty(self, s):
+        assert comparison_sort_permutation(s, np.array([])).size == 0
+
+
+class TestIntegerSort:
+    def test_ascending(self, s):
+        keys = np.array([5, 0, 3, 3], dtype=np.int64)
+        order = integer_sort_permutation(s, keys)
+        assert keys[order].tolist() == [0, 3, 3, 5]
+
+    def test_descending(self, s):
+        keys = np.array([5, 0, 3], dtype=np.int64)
+        order = integer_sort_permutation(s, keys, descending=True)
+        assert keys[order].tolist() == [5, 3, 0]
+
+    def test_rejects_negative_keys(self, s):
+        with pytest.raises(ValueError):
+            integer_sort_permutation(s, np.array([1, -2, 3]))
+
+    def test_cheaper_than_comparison_sort(self):
+        keys = np.arange(1 << 14, dtype=np.int64)
+        s_int, s_cmp = Scheduler(), Scheduler()
+        integer_sort_permutation(s_int, keys)
+        comparison_sort_permutation(s_cmp, keys.astype(np.float64))
+        assert s_int.counter.work < s_cmp.counter.work
+
+    def test_matches_comparison_sort_result(self, s, rng):
+        keys = rng.integers(0, 1000, size=500)
+        a = integer_sort_permutation(s, keys)
+        b = comparison_sort_permutation(s, keys.astype(np.float64))
+        assert np.array_equal(keys[a], keys[b])
+
+
+class TestRationalKeys:
+    def test_preserves_order_of_distinct_rationals(self):
+        numerators = np.array([1, 1, 2, 3])
+        denominators = np.array([3, 2, 3, 4])
+        keys = rationals_to_sort_keys(numerators, denominators, bound=4)
+        ratios = numerators / denominators
+        assert np.array_equal(np.argsort(keys), np.argsort(ratios))
+
+    def test_rejects_non_positive_denominator(self):
+        with pytest.raises(ValueError):
+            rationals_to_sort_keys(np.array([1]), np.array([0]), bound=2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rationals_to_sort_keys(np.array([1, 2]), np.array([1]), bound=2)
+
+    def test_similarity_keys_preserve_order(self, rng):
+        similarities = rng.random(200)
+        keys = similarity_sort_keys(similarities)
+        assert np.array_equal(np.argsort(keys, kind="stable"),
+                              np.argsort(np.round(similarities * (1 << 20)), kind="stable"))
+
+    def test_similarity_keys_clip_out_of_range(self):
+        keys = similarity_sort_keys(np.array([-0.5, 0.5, 1.5]))
+        assert keys[0] == 0
+        assert keys[2] == 1 << 20
+
+
+class TestSortByKey:
+    def test_sorts_values(self, s):
+        values = np.array([10, 20, 30])
+        keys = np.array([3.0, 1.0, 2.0])
+        assert sort_by_key(s, values, keys).tolist() == [20, 30, 10]
+
+    def test_integer_path(self, s):
+        values = np.array([10, 20, 30])
+        keys = np.array([3, 1, 2], dtype=np.int64)
+        out = sort_by_key(s, values, keys, descending=True, use_integer_sort=True)
+        assert out.tolist() == [10, 30, 20]
+
+    def test_length_mismatch(self, s):
+        with pytest.raises(ValueError):
+            sort_by_key(s, np.arange(3), np.arange(2))
+
+
+class TestSegmentedSort:
+    def test_sorts_each_segment_independently(self, s):
+        offsets = np.array([0, 3, 5])
+        values = np.array([10, 11, 12, 13, 14])
+        keys = np.array([1.0, 3.0, 2.0, 0.5, 0.9])
+        out = segmented_sort_by_key(s, offsets, values, keys, descending=True,
+                                    use_integer_sort=False)
+        assert out.tolist() == [11, 12, 10, 14, 13]
+
+    def test_ascending(self, s):
+        offsets = np.array([0, 2, 4])
+        values = np.array([1, 2, 3, 4])
+        keys = np.array([5.0, 1.0, 0.0, 7.0])
+        out = segmented_sort_by_key(s, offsets, values, keys, descending=False,
+                                    use_integer_sort=False)
+        assert out.tolist() == [2, 1, 3, 4]
+
+    def test_segments_unchanged_in_size(self, s, rng):
+        lengths = rng.integers(0, 10, size=20)
+        offsets = np.zeros(21, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        values = rng.integers(0, 1000, size=total)
+        keys = rng.random(total)
+        out = segmented_sort_by_key(s, offsets, values, keys)
+        for i in range(20):
+            a, b = int(offsets[i]), int(offsets[i + 1])
+            assert sorted(out[a:b].tolist()) == sorted(values[a:b].tolist())
+
+    def test_empty_input(self, s):
+        out = segmented_sort_by_key(s, np.array([0]), np.array([], dtype=np.int64),
+                                    np.array([], dtype=np.float64))
+        assert out.size == 0
+
+    def test_bad_offsets(self, s):
+        with pytest.raises(ValueError):
+            segmented_sort_by_key(s, np.array([0, 2]), np.arange(3), np.arange(3))
+
+    def test_length_mismatch(self, s):
+        with pytest.raises(ValueError):
+            segmented_sort_by_key(s, np.array([0, 2]), np.arange(2), np.arange(3))

@@ -1,0 +1,97 @@
+"""Tests for the union-find forest used by clustering queries."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import Scheduler, UnionFind
+
+
+@pytest.fixture
+def s():
+    return Scheduler()
+
+
+class TestBasics:
+    def test_initially_all_singletons(self):
+        forest = UnionFind(5)
+        assert forest.num_components == 5
+        assert len(forest) == 5
+        assert all(forest.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        forest = UnionFind(4)
+        assert forest.union(0, 1) is True
+        assert forest.connected(0, 1)
+        assert forest.num_components == 3
+
+    def test_union_of_same_set_returns_false(self):
+        forest = UnionFind(3)
+        forest.union(0, 1)
+        assert forest.union(1, 0) is False
+        assert forest.num_components == 2
+
+    def test_transitive_connectivity(self):
+        forest = UnionFind(5)
+        forest.union(0, 1)
+        forest.union(1, 2)
+        forest.union(3, 4)
+        assert forest.connected(0, 2)
+        assert not forest.connected(2, 3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_elements(self):
+        forest = UnionFind(0)
+        assert forest.num_components == 0
+
+
+class TestBatches:
+    def test_union_batch(self, s):
+        forest = UnionFind(6)
+        forest.union_batch(s, np.array([0, 2, 4]), np.array([1, 3, 5]))
+        assert forest.num_components == 3
+
+    def test_union_batch_length_mismatch(self, s):
+        forest = UnionFind(3)
+        with pytest.raises(ValueError):
+            forest.union_batch(s, np.array([0]), np.array([1, 2]))
+
+    def test_find_batch(self, s):
+        forest = UnionFind(4)
+        forest.union(0, 1)
+        roots = forest.find_batch(s, np.array([0, 1, 2, 3]))
+        assert roots[0] == roots[1]
+        assert roots[2] != roots[0]
+
+    def test_component_labels_partition(self, s):
+        forest = UnionFind(7)
+        forest.union_batch(s, np.array([0, 1, 4]), np.array([1, 2, 5]))
+        labels = forest.component_labels(s)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[4] == labels[5]
+        assert labels[3] not in (labels[0], labels[4])
+
+    def test_matches_reference_components(self, s, rng):
+        n = 200
+        edges = rng.integers(0, n, size=(300, 2))
+        forest = UnionFind(n)
+        forest.union_batch(s, edges[:, 0], edges[:, 1])
+        # Reference: iterative label propagation until fixpoint.
+        labels = np.arange(n)
+        changed = True
+        while changed:
+            changed = False
+            for u, v in edges:
+                low = min(labels[u], labels[v])
+                if labels[u] != low or labels[v] != low:
+                    labels[u] = labels[v] = low
+                    changed = True
+        ours = forest.component_labels()
+        # Same partition: equal labels iff equal reference labels.
+        _, ours_dense = np.unique(ours, return_inverse=True)
+        _, ref_dense = np.unique(labels, return_inverse=True)
+        remap = {}
+        for a, b in zip(ours_dense, ref_dense):
+            assert remap.setdefault(a, b) == b

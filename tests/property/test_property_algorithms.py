@@ -1,0 +1,154 @@
+"""Property-based tests for sorting, doubling search, similarities and queries."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import ScanIndex
+from repro.baselines import scan_clustering
+from repro.core import prefix_length_at_least
+from repro.graphs import from_edge_list
+from repro.parallel import (
+    Scheduler,
+    comparison_sort_permutation,
+    integer_sort_permutation,
+    segmented_sort_by_key,
+)
+from repro.quality import adjusted_rand_index, modularity
+from repro.similarity import compute_similarities, edge_similarity_reference
+
+settings.register_profile("repro-algorithms", max_examples=30, deadline=None)
+settings.load_profile("repro-algorithms")
+
+
+# ----------------------------------------------------------------------
+# Sorting
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(0, 1, allow_nan=False), max_size=200))
+def test_comparison_sort_matches_python_sorted(values):
+    keys = np.array(values, dtype=np.float64)
+    order = comparison_sort_permutation(Scheduler(), keys)
+    assert keys[order].tolist() == sorted(values)
+
+
+@given(st.lists(st.integers(0, 10_000), max_size=200))
+def test_integer_sort_matches_python_sorted(values):
+    keys = np.array(values, dtype=np.int64)
+    order = integer_sort_permutation(Scheduler(), keys)
+    assert keys[order].tolist() == sorted(values)
+
+
+@given(
+    st.lists(st.integers(0, 8), min_size=1, max_size=12),
+    st.data(),
+)
+def test_segmented_sort_sorts_within_segments_only(lengths, data):
+    offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    keys = np.array(data.draw(st.lists(st.floats(0, 1, allow_nan=False),
+                                       min_size=total, max_size=total)))
+    values = np.arange(total)
+    out = segmented_sort_by_key(Scheduler(), offsets, values, keys,
+                                descending=True, use_integer_sort=False)
+    for i in range(len(lengths)):
+        a, b = int(offsets[i]), int(offsets[i + 1])
+        segment = out[a:b]
+        assert sorted(segment.tolist()) == sorted(values[a:b].tolist())
+        assert np.all(np.diff(keys[segment]) <= 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Doubling search
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(0, 1, allow_nan=False), max_size=100),
+    st.floats(0, 1, allow_nan=False),
+)
+def test_doubling_search_equals_linear_count(values, threshold):
+    keys = np.sort(np.array(values, dtype=np.float64))[::-1]
+    expected = int(np.count_nonzero(keys >= threshold))
+    assert prefix_length_at_least(keys, threshold) == expected
+
+
+# ----------------------------------------------------------------------
+# Similarities
+# ----------------------------------------------------------------------
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=1, max_size=60
+)
+
+
+@given(edge_lists)
+def test_similarities_in_unit_interval_and_match_reference(edges):
+    graph = from_edge_list(edges, num_vertices=16)
+    if graph.num_edges == 0:
+        return
+    similarities = compute_similarities(graph)
+    assert float(similarities.values.min()) >= 0.0
+    assert float(similarities.values.max()) <= 1.0 + 1e-9
+    edge_u, edge_v = graph.edge_list()
+    for edge in range(graph.num_edges):
+        u, v = int(edge_u[edge]), int(edge_v[edge])
+        assert abs(
+            similarities.values[edge] - edge_similarity_reference(graph, u, v)
+        ) < 1e-9
+
+
+@given(edge_lists)
+def test_hash_and_merge_backends_agree(edges):
+    graph = from_edge_list(edges, num_vertices=16)
+    if graph.num_edges == 0:
+        return
+    merge = compute_similarities(graph, backend="merge")
+    hashed = compute_similarities(graph, backend="hash")
+    assert np.allclose(merge.values, hashed.values)
+
+
+# ----------------------------------------------------------------------
+# Index queries vs. original SCAN
+# ----------------------------------------------------------------------
+@given(
+    edge_lists,
+    st.integers(2, 5),
+    st.floats(0.05, 0.95),
+)
+def test_index_query_cores_match_scan(edges, mu, epsilon):
+    graph = from_edge_list(edges, num_vertices=16)
+    if graph.num_edges == 0:
+        return
+    index = ScanIndex.build(graph)
+    ours = index.query(mu, epsilon)
+    reference = scan_clustering(graph, mu, epsilon, similarities=index.similarities)
+    assert np.array_equal(ours.core_mask, reference.core_mask)
+    # Cores belong to the same clusters in both.
+    mapping = {}
+    for v in np.flatnonzero(ours.core_mask).tolist():
+        assert mapping.setdefault(int(ours.labels[v]), int(reference.labels[v])) == int(
+            reference.labels[v]
+        )
+
+
+# ----------------------------------------------------------------------
+# Quality measures
+# ----------------------------------------------------------------------
+@given(
+    edge_lists,
+    st.lists(st.integers(-1, 4), min_size=16, max_size=16),
+)
+def test_modularity_bounded_above_by_one(edges, labels):
+    graph = from_edge_list(edges, num_vertices=16)
+    if graph.num_edges == 0:
+        return
+    assert modularity(graph, np.array(labels, dtype=np.int64)) <= 1.0 + 1e-9
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=2, max_size=80),
+    st.lists(st.integers(0, 5), min_size=2, max_size=80),
+)
+def test_ari_symmetric_and_reflexive(a, b):
+    size = min(len(a), len(b))
+    labels_a = np.array(a[:size], dtype=np.int64)
+    labels_b = np.array(b[:size], dtype=np.int64)
+    assert adjusted_rand_index(labels_a, labels_a.copy()) == 1.0
+    assert adjusted_rand_index(labels_a, labels_b) == adjusted_rand_index(labels_b, labels_a)

@@ -1,0 +1,94 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    connected_components_bfs,
+    connected_components_unionfind,
+    from_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+settings.register_profile("repro", max_examples=40, deadline=None)
+settings.load_profile("repro")
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    min_size=0,
+    max_size=120,
+)
+
+
+@given(edge_lists)
+def test_graph_is_simple_and_symmetric(edges):
+    graph = from_edge_list(edges, num_vertices=31)
+    # No self loops, neighbor lists strictly increasing.
+    for v in range(graph.num_vertices):
+        neighbors = graph.neighbors(v)
+        assert v not in neighbors
+        assert np.all(np.diff(neighbors) > 0)
+    # Symmetry: u in N(v) iff v in N(u).
+    for u, v in graph.edges():
+        assert graph.has_edge(u, v) and graph.has_edge(v, u)
+
+
+@given(edge_lists)
+def test_edge_count_matches_unique_undirected_pairs(edges):
+    graph = from_edge_list(edges, num_vertices=31)
+    expected = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    assert graph.num_edges == len(expected)
+    assert graph.num_arcs == 2 * len(expected)
+    assert int(graph.degrees.sum()) == graph.num_arcs
+
+
+@given(edge_lists)
+def test_edge_ids_are_a_bijection(edges):
+    graph = from_edge_list(edges, num_vertices=31)
+    seen = set()
+    for u, v in graph.edges():
+        edge = graph.edge_id(u, v)
+        assert edge not in seen
+        seen.add(edge)
+    assert seen == set(range(graph.num_edges))
+
+
+@given(edge_lists)
+def test_degree_orientation_keeps_every_edge_once(edges):
+    graph = from_edge_list(edges, num_vertices=31)
+    oriented = graph.degree_oriented_csr()
+    assert oriented.indices.shape[0] == graph.num_edges
+    assert sorted(oriented.edge_ids.tolist()) == list(range(graph.num_edges))
+
+
+@given(edge_lists)
+def test_components_bfs_equals_unionfind(edges):
+    graph = from_edge_list(edges, num_vertices=31)
+    bfs = connected_components_bfs(graph)
+    unionfind = connected_components_unionfind(graph)
+    mapping = {}
+    for a, b in zip(bfs.tolist(), unionfind.tolist()):
+        assert mapping.setdefault(a, b) == b
+
+
+@given(
+    edge_lists,
+    st.one_of(st.none(), st.floats(0.1, 5.0)),
+)
+def test_edge_list_io_roundtrip(tmp_path_factory, edges, weight):
+    graph = from_edge_list(
+        edges,
+        num_vertices=31,
+        weights=None if weight is None else [weight] * len(edges),
+    )
+    path = tmp_path_factory.mktemp("io") / "graph.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path, num_vertices=31)
+    if graph.num_edges == 0:
+        # An edge list file cannot record "weighted" for a graph with no
+        # edges, so only the structure is compared in that corner case.
+        assert loaded.num_edges == 0 and loaded.num_vertices == graph.num_vertices
+    else:
+        assert loaded == graph

@@ -1,0 +1,91 @@
+"""Tests for the (adjusted) Rand index."""
+
+import numpy as np
+import pytest
+
+from repro.core import UNCLUSTERED, Clustering
+from repro.quality import adjusted_rand_index, rand_index
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(labels, labels.copy()) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 4, size=60)
+        b = rng.integers(0, 4, size=60)
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_known_textbook_value(self):
+        # Hubert & Arabie style example.
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        value = adjusted_rand_index(a, b)
+        assert 0.0 < value < 1.0
+        assert value == pytest.approx(0.2424, abs=1e-3)
+
+    def test_independent_partitions_near_zero(self, rng):
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_opposite_structure_can_be_negative(self):
+        a = np.array([0, 1, 0, 1])
+        b = np.array([0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) <= 0.0
+
+    def test_all_singletons_vs_itself(self):
+        labels = np.arange(10)
+        assert adjusted_rand_index(labels, labels.copy()) == 1.0
+
+    def test_unclustered_as_singletons(self):
+        a = np.array([0, 0, UNCLUSTERED, UNCLUSTERED])
+        b = np.array([0, 0, 1, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_unclustered_matters(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([0, 0, UNCLUSTERED, UNCLUSTERED])
+        assert adjusted_rand_index(a, b) < 1.0
+
+    def test_accepts_clustering_objects(self):
+        labels = np.array([0, 0, 1])
+        clustering = Clustering(labels, np.zeros(3, dtype=bool))
+        assert adjusted_rand_index(clustering, labels) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([0]), np.array([0, 1]))
+
+    def test_empty_input(self):
+        assert adjusted_rand_index(np.array([], dtype=np.int64),
+                                   np.array([], dtype=np.int64)) == 1.0
+
+
+class TestRandIndex:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 1])
+        assert rand_index(labels, labels.copy()) == 1.0
+
+    def test_bounded_by_one(self, rng):
+        a = rng.integers(0, 3, size=50)
+        b = rng.integers(0, 3, size=50)
+        assert 0.0 <= rand_index(a, b) <= 1.0
+
+    def test_rand_at_least_adjusted(self, rng):
+        a = rng.integers(0, 3, size=80)
+        b = rng.integers(0, 3, size=80)
+        assert rand_index(a, b) >= adjusted_rand_index(a, b)
+
+    def test_single_vertex(self):
+        assert rand_index(np.array([0]), np.array([3])) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rand_index(np.array([0]), np.array([0, 1]))

@@ -1,0 +1,77 @@
+"""Tests for parameter grids and modularity sweeps."""
+
+import pytest
+
+from repro import ScanIndex
+from repro.graphs import planted_partition, planted_partition_labels
+from repro.quality import (
+    adjusted_rand_index,
+    best_clustering,
+    epsilon_grid,
+    modularity_sweep,
+    mu_grid,
+    parameter_grid,
+)
+
+
+class TestGrids:
+    def test_mu_grid_powers_of_two(self):
+        assert mu_grid(20) == [2, 4, 8, 16]
+
+    def test_mu_grid_clipped_by_exponent(self):
+        assert mu_grid(10 ** 9, upper_exponent=4) == [2, 4, 8, 16]
+
+    def test_mu_grid_minimum(self):
+        assert mu_grid(1) == [2]
+
+    def test_epsilon_grid_default(self):
+        grid = epsilon_grid()
+        assert len(grid) == 99
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(0.99)
+
+    def test_epsilon_grid_custom_step(self):
+        grid = epsilon_grid(0.25)
+        assert grid.tolist() == pytest.approx([0.25, 0.5, 0.75])
+
+    def test_epsilon_grid_invalid_step(self):
+        with pytest.raises(ValueError):
+            epsilon_grid(0.0)
+
+    def test_parameter_grid_is_product(self, paper_graph):
+        grid = parameter_grid(paper_graph, epsilon_step=0.2)
+        mus = {mu for mu, _ in grid}
+        assert mus == {2, 4}  # max closed degree is 5
+        assert len(grid) == 2 * 4
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def index(self):
+        graph = planted_partition(4, 40, p_intra=0.4, p_inter=0.005, seed=2)
+        return ScanIndex.build(graph)
+
+    def test_sweep_visits_every_setting(self, index):
+        parameters = [(2, 0.2), (2, 0.4), (4, 0.2)]
+        result = modularity_sweep(index, parameters=parameters)
+        assert [(e.mu, e.epsilon) for e in result.entries] == parameters
+
+    def test_best_is_max_modularity(self, index):
+        result = modularity_sweep(index, epsilon_step=0.1)
+        assert result.best.modularity == max(e.modularity for e in result.entries)
+
+    def test_best_parameters_tuple(self, index):
+        result = modularity_sweep(index, epsilon_step=0.1)
+        mu, epsilon = result.best_parameters()
+        assert (mu, epsilon) == (result.best.mu, result.best.epsilon)
+
+    def test_sweep_recovers_planted_communities(self, index):
+        clustering, best = best_clustering(index, epsilon_step=0.1)
+        truth = planted_partition_labels(4, 40)
+        assert best.modularity > 0.5
+        assert adjusted_rand_index(clustering, truth) > 0.9
+
+    def test_empty_sweep_best_raises(self, index):
+        result = modularity_sweep(index, parameters=[])
+        with pytest.raises(ValueError):
+            _ = result.best

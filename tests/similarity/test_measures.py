@@ -1,0 +1,118 @@
+"""Tests for the reference set/vector similarity measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import from_weighted_edge_list, paper_example_graph
+from repro.similarity import (
+    angle_between,
+    closed_neighborhood_weights,
+    cosine_similarity_sets,
+    cosine_similarity_vectors,
+    dice_similarity,
+    edge_similarity_reference,
+    jaccard_similarity,
+    weighted_cosine_similarity,
+)
+
+
+class TestSetMeasures:
+    def test_jaccard_identical_sets(self):
+        assert jaccard_similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_jaccard_disjoint_sets(self):
+        assert jaccard_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_jaccard_partial_overlap(self):
+        assert jaccard_similarity([1, 2, 3], [2, 3, 4]) == pytest.approx(2 / 4)
+
+    def test_jaccard_both_empty(self):
+        assert jaccard_similarity([], []) == 0.0
+
+    def test_cosine_identical_sets(self):
+        assert cosine_similarity_sets([1, 2], [1, 2]) == pytest.approx(1.0)
+
+    def test_cosine_partial_overlap(self):
+        assert cosine_similarity_sets([1, 2, 3], [2, 3, 4, 5]) == pytest.approx(
+            2 / math.sqrt(12)
+        )
+
+    def test_cosine_empty_set(self):
+        assert cosine_similarity_sets([], [1]) == 0.0
+
+    def test_dice(self):
+        assert dice_similarity([1, 2, 3], [2, 3, 4]) == pytest.approx(4 / 6)
+
+    def test_dice_both_empty(self):
+        assert dice_similarity([], []) == 0.0
+
+
+class TestWeightedAndVector:
+    def test_weighted_cosine_matches_unweighted_when_weights_one(self):
+        unweighted = cosine_similarity_sets([1, 2, 3], [2, 3, 4])
+        weighted = weighted_cosine_similarity([1, 2, 3], [1, 1, 1], [2, 3, 4], [1, 1, 1])
+        assert weighted == pytest.approx(unweighted)
+
+    def test_weighted_cosine_zero_vector(self):
+        assert weighted_cosine_similarity([1], [0.0], [1], [1.0]) == 0.0
+
+    def test_vector_cosine_orthogonal(self):
+        assert cosine_similarity_vectors([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_vector_cosine_parallel(self):
+        assert cosine_similarity_vectors([1, 2], [2, 4]) == pytest.approx(1.0)
+
+    def test_vector_cosine_zero_vector(self):
+        assert cosine_similarity_vectors([0, 0], [1, 1]) == 0.0
+
+    def test_angle_between_orthogonal(self):
+        assert angle_between(np.array([1, 0]), np.array([0, 1])) == pytest.approx(math.pi / 2)
+
+
+class TestEdgeReference:
+    def test_paper_values(self, paper_graph):
+        # Values quoted on Figure 1 of the paper (1-based ids 5-6, 1-2, 2-4, 9-10).
+        assert edge_similarity_reference(paper_graph, 4, 5) == pytest.approx(0.58, abs=0.01)
+        assert edge_similarity_reference(paper_graph, 0, 1) == pytest.approx(0.87, abs=0.01)
+        assert edge_similarity_reference(paper_graph, 1, 3) == pytest.approx(0.89, abs=0.01)
+        assert edge_similarity_reference(paper_graph, 8, 9) == pytest.approx(0.82, abs=0.01)
+
+    def test_symmetric(self, paper_graph):
+        assert edge_similarity_reference(paper_graph, 3, 4) == pytest.approx(
+            edge_similarity_reference(paper_graph, 4, 3)
+        )
+
+    def test_jaccard_and_dice_variants(self, paper_graph):
+        jaccard = edge_similarity_reference(paper_graph, 0, 1, "jaccard")
+        dice = edge_similarity_reference(paper_graph, 0, 1, "dice")
+        # N̄(0) = {0,1,3}, N̄(1) = {0,1,2,3}: intersection 3, union 4.
+        assert jaccard == pytest.approx(3 / 4)
+        assert dice == pytest.approx(6 / 7)
+
+    def test_unknown_measure(self, paper_graph):
+        with pytest.raises(ValueError):
+            edge_similarity_reference(paper_graph, 0, 1, "euclidean")
+
+    def test_non_edge_raises(self, paper_graph):
+        with pytest.raises(KeyError):
+            edge_similarity_reference(paper_graph, 0, 10)
+
+    def test_weighted_graph_requires_cosine(self):
+        graph = from_weighted_edge_list([(0, 1, 0.5), (1, 2, 0.5)])
+        with pytest.raises(ValueError):
+            edge_similarity_reference(graph, 0, 1, "jaccard")
+
+    def test_weighted_cosine_hand_computed(self):
+        # Path 0 - 1 - 2 with weights 0.5 and 2.0.
+        graph = from_weighted_edge_list([(0, 1, 0.5), (1, 2, 2.0)])
+        # N̄(0) vector: w(0,0)=1, w(0,1)=0.5.  N̄(1) vector: w(1,0)=0.5, w(1,1)=1, w(1,2)=2.
+        # numerator = 1*0.5 + 0.5*1 = 1.0; norms: sqrt(1.25), sqrt(5.25).
+        expected = 1.0 / (math.sqrt(1.25) * math.sqrt(5.25))
+        assert edge_similarity_reference(graph, 0, 1) == pytest.approx(expected)
+
+    def test_closed_neighborhood_weights_include_self(self, paper_graph):
+        items, values = closed_neighborhood_weights(paper_graph, 3)
+        assert 3 in items.tolist()
+        assert values[items.tolist().index(3)] == 1.0
