@@ -3,8 +3,9 @@
 Not a figure of the paper, but it quantifies the two design choices the paper
 discusses in Sections 4.1.2 and 6.1:
 
-* merge-based similarity on the degree-oriented graph vs the hash-join of
-  Algorithm 1 vs dense matrix multiplication;
+* the vectorised batch engine vs merge-based similarity on the
+  degree-oriented graph vs the hash-join of Algorithm 1 vs dense matrix
+  multiplication;
 * integer sort vs comparison sort for building the neighbor/core orders.
 """
 
@@ -24,6 +25,7 @@ def test_ablation_similarity_backends(benchmark, once):
 
     def run():
         return {
+            "batch": _build_work(graph, backend="batch"),
             "merge": _build_work(graph, backend="merge"),
             "hash": _build_work(graph, backend="hash"),
             "matmul": _build_work(graph, backend="matmul"),
@@ -35,6 +37,9 @@ def test_ablation_similarity_backends(benchmark, once):
     # The degree-oriented merge shares triangle work across edges, so it never
     # does more work than the per-edge hash join.
     assert work["merge"] <= work["hash"]
+    # The batch engine is the merge strategy executed array-at-once, so it
+    # charges exactly the merge engine's work.
+    assert work["batch"] == work["merge"]
 
 
 def test_ablation_sorting_strategy(benchmark, once):

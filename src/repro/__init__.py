@@ -10,6 +10,32 @@ A from-scratch Python reproduction of Tseng, Dhulipala and Shun,
   construction to LSH-approximated similarities;
 * :class:`~repro.core.clustering.Clustering` -- the query result type;
 * the graph constructors and generators under :mod:`repro.graphs`.
+
+Similarity backends
+-------------------
+:func:`~repro.similarity.exact.compute_similarities` (and
+``ScanIndex.build``) accept a ``backend`` selecting the exact similarity
+engine:
+
+* ``"batch"`` (default) -- the fully vectorised engine
+  (:mod:`repro.similarity.batch`): chunked ``(arc, candidate)`` pair
+  expansion over the degree-oriented CSR, one ``np.searchsorted`` per chunk
+  and bincount scatter-adds.  Zero per-arc Python iteration; the fastest
+  choice at every graph size.  Charges the merge engine's ``O(m^{3/2})``
+  work / ``O(log n)`` span.
+* ``"merge"`` -- the scalar reference for ``batch``: per-arc sorted-list
+  merges on the degree orientation (Section 6.1).  Identical scheduler
+  charges, interpreter-speed execution; kept for cross-checking.
+* ``"hash"`` -- Algorithm 1 verbatim with lazily built per-vertex hash
+  tables; the ``O(α m)`` work-bound reference exercised by tests.
+* ``"matmul"`` -- numerators via the squared weight matrix ``W²``
+  (Section 4.1.1); wins only on small dense graphs where ``n²`` memory is
+  acceptable.
+
+See the :mod:`repro.similarity.exact` module docstring for the full matrix
+with work bounds, and ``benchmarks/bench_hot_paths.py`` for measured
+construction/query times of every backend on growing planted-partition
+graphs.
 """
 
 from .core.clustering import UNCLUSTERED, Clustering

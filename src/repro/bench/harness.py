@@ -119,7 +119,7 @@ def measure_index_construction(
         return ScanIndex.build(
             graph,
             measure=measure_name,
-            backend="merge",
+            backend="batch",
             approximate=approximate,
             scheduler=scheduler,
         )

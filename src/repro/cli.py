@@ -23,6 +23,7 @@ from .bench.experiments import ALL_EXPERIMENTS
 from .bench.reporting import format_table
 from .core.index import ScanIndex
 from .graphs.io import read_edge_list
+from .similarity.exact import BACKENDS
 
 
 def _command_datasets(args: argparse.Namespace) -> int:
@@ -72,7 +73,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_cluster(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
-    index = ScanIndex.build(graph, measure=args.measure)
+    index = ScanIndex.build(graph, measure=args.measure, backend=args.backend)
     clustering = index.query(
         args.mu, args.epsilon, deterministic_borders=True, classify_hubs_and_outliers=True
     )
@@ -117,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--mu", type=int, default=5)
     cluster.add_argument("--epsilon", type=float, default=0.6)
     cluster.add_argument("--measure", choices=("cosine", "jaccard", "dice"), default="cosine")
+    cluster.add_argument("--backend", choices=BACKENDS, default="batch",
+                         help="exact similarity engine (default: the vectorised batch engine)")
     cluster.set_defaults(handler=_command_cluster)
 
     return parser

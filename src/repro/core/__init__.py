@@ -1,7 +1,11 @@
 """The paper's core contribution: the parallel index-based SCAN algorithm."""
 
 from .clustering import UNCLUSTERED, Clustering
-from .doubling import prefix_length_at_least, prefix_length_greater_than
+from .doubling import (
+    prefix_length_at_least,
+    prefix_length_greater_than,
+    prefix_lengths_at_least,
+)
 from .neighbor_order import NeighborOrder, build_neighbor_order
 from .core_order import CoreOrder, build_core_order
 from .query import cluster, get_cores
@@ -13,6 +17,7 @@ __all__ = [
     "Clustering",
     "prefix_length_at_least",
     "prefix_length_greater_than",
+    "prefix_lengths_at_least",
     "NeighborOrder",
     "build_neighbor_order",
     "CoreOrder",

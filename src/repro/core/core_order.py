@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..parallel.metrics import ceil_log2
+from ..parallel.primitives import segmented_arange
 from ..parallel.scheduler import Scheduler
 from ..parallel.sorting import (
     comparison_sort_permutation,
@@ -29,7 +30,7 @@ from ..parallel.sorting import (
     segmented_sort_by_key,
     similarity_sort_keys,
 )
-from .doubling import prefix_length_at_least
+from .doubling import prefix_length_at_least, prefix_lengths_at_least
 from .neighbor_order import NeighborOrder
 
 
@@ -114,47 +115,40 @@ def build_core_order(
     sorted_vertices = np.arange(n, dtype=np.int64)[order]
     sorted_degrees = degrees[order]
 
-    segment_vertices: list[np.ndarray] = []
-    segment_thresholds: list[np.ndarray] = []
+    # The per-μ searches run as one parallel batch (Algorithm 2, line 11):
+    # members of μ are the vertices with closed degree >= μ, i.e. degree >=
+    # μ - 1, a prefix of the degree-sorted array.  All max_mu - 1 prefixes
+    # are located with one batched doubling search against the shared array
+    # and expanded with one segmented gather -- no Python loop over μ.
+    mu_values = np.arange(2, max_mu + 1, dtype=np.int64)
     segment_lengths = np.zeros(max_mu + 1, dtype=np.int64)
-
-    # The per-μ searches run as one parallel loop (Algorithm 2, line 11):
-    # work adds up over μ, span is the largest single iteration.
-    probe = Scheduler(scheduler.num_workers)
-    max_iteration_span = 0.0
-    for mu in range(2, max_mu + 1):
-        span_before = probe.counter.span
-        # Members are vertices with closed degree >= mu, i.e. degree >= mu - 1;
-        # they form a prefix of the degree-sorted array (doubling search).
-        count = prefix_length_at_least(sorted_degrees, mu - 1, scheduler=probe)
-        members = sorted_vertices[:count]
-        if count == 0:
-            max_iteration_span = max(max_iteration_span, probe.counter.span - span_before)
-            segment_vertices.append(np.zeros(0, dtype=np.int64))
-            segment_thresholds.append(np.zeros(0, dtype=np.float64))
-            continue
-        # Threshold of v for mu: similarity of its (mu - 1)-th most similar
-        # neighbor, i.e. position mu - 2 of NO[v].
-        offsets = neighbor_order.indptr[members] + (mu - 2)
-        thresholds = neighbor_order.similarities[offsets]
-        probe.charge(count, ceil_log2(max(count, 1)) + 1.0)
-        max_iteration_span = max(max_iteration_span, probe.counter.span - span_before)
-        segment_vertices.append(members)
-        segment_thresholds.append(thresholds)
-        segment_lengths[mu] = count
-    scheduler.charge(
-        probe.counter.work, max_iteration_span + ceil_log2(max(max_mu, 1)) + 1.0
-    )
+    if mu_values.size:
+        segment_lengths[2:] = prefix_lengths_at_least(
+            sorted_degrees,
+            mu_values - 1,
+            np.zeros(mu_values.size, dtype=np.int64),
+            np.full(mu_values.size, n, dtype=np.int64),
+            scheduler=scheduler,
+        )
 
     indptr = np.zeros(max_mu + 2, dtype=np.int64)
     np.cumsum(segment_lengths, out=indptr[1:])
-    all_vertices = (
-        np.concatenate(segment_vertices) if segment_vertices else np.zeros(0, dtype=np.int64)
-    )
-    all_thresholds = (
-        np.concatenate(segment_thresholds)
-        if segment_thresholds
-        else np.zeros(0, dtype=np.float64)
+    total_entries = int(indptr[-1])
+    # Rank of every entry within its μ-segment, and the μ it belongs to.
+    counts = segment_lengths[2:]
+    ranks = segmented_arange(counts)
+    entry_mu = np.repeat(mu_values, counts)
+    all_vertices = sorted_vertices[ranks]
+    # Threshold of v for μ: similarity of its (μ - 1)-th most similar
+    # neighbor, i.e. position μ - 2 of NO[v].
+    if total_entries:
+        offsets = neighbor_order.indptr[all_vertices] + (entry_mu - 2)
+        all_thresholds = neighbor_order.similarities[offsets]
+    else:
+        all_thresholds = np.zeros(0, dtype=np.float64)
+    nonzero_segments = int(np.count_nonzero(counts))
+    scheduler.charge(
+        total_entries, ceil_log2(max(nonzero_segments, 1)) + 1.0
     )
 
     # One global segmented sort orders every CO[mu] by non-increasing

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..parallel.metrics import ceil_log2
+from ..parallel.metrics import ceil_log2, ceil_log2_array
 from ..parallel.scheduler import Scheduler
 
 
@@ -61,6 +61,73 @@ def prefix_length_at_least(
     if scheduler is not None:
         scheduler.charge(2 * (ceil_log2(max(result, 1)) + 1.0), ceil_log2(max(result, 1)) + 1.0)
     return result
+
+
+def prefix_lengths_at_least(
+    keys: np.ndarray,
+    threshold: float | np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    *,
+    scheduler: Scheduler | None = None,
+) -> np.ndarray:
+    """Per-segment prefix lengths with entries ``>= threshold``, batched.
+
+    The vectorised counterpart of :func:`prefix_length_at_least`: ``keys``
+    holds many non-increasing segments, ``starts[i]``/``lengths[i]`` delimit
+    segment ``i``, and the result is the prefix length of every segment.
+    ``threshold`` is a scalar applied to every segment or an array with one
+    threshold per segment (segments may overlap, e.g. many thresholds probed
+    against one shared array).  All segments are searched *simultaneously* --
+    the Python loop below runs ``O(log max_length)`` rounds of whole-array
+    gathers, never one iteration per segment, which is what removes the
+    per-core interpreter loop from the query path.
+
+    The charges match the scalar searches exactly: segments whose first key
+    already fails charge ``(1, 1)``; the rest charge ``2 (log2(j) + 1)`` work
+    and ``log2(j) + 1`` span for a result of ``j``, composed as one parallel
+    batch (work adds up, span is the maximum search plus the fork-tree depth
+    over the segments).
+    """
+    keys = np.asarray(keys)
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape:
+        raise ValueError("starts and lengths must have equal shape")
+    num_segments = int(starts.shape[0])
+    if num_segments == 0:
+        return np.zeros(0, dtype=np.int64)
+    threshold = np.broadcast_to(np.asarray(threshold), (num_segments,))
+
+    nonempty = np.flatnonzero(lengths > 0)
+    first_passes = np.zeros(num_segments, dtype=bool)
+    if nonempty.size:
+        first_passes[nonempty] = keys[starts[nonempty]] >= threshold[nonempty]
+
+    # Simultaneous binary search for the first failing position of every
+    # segment whose position 0 passes; everything before ``low`` passes and
+    # everything at/after ``high`` is no better than the first failure.
+    low = first_passes.astype(np.int64)
+    high = np.where(first_passes, lengths, 0)
+    active = np.flatnonzero(low < high)
+    while active.size:
+        middle = (low[active] + high[active]) >> 1
+        passes = keys[starts[active] + middle] >= threshold[active]
+        low[active] = np.where(passes, middle + 1, low[active])
+        high[active] = np.where(passes, high[active], middle)
+        active = active[low[active] < high[active]]
+    results = low
+
+    if scheduler is not None:
+        num_failed_immediately = num_segments - int(np.count_nonzero(first_passes))
+        work = float(num_failed_immediately)
+        max_span = 1.0 if num_failed_immediately else 0.0
+        if first_passes.any():
+            search_spans = ceil_log2_array(results[first_passes]) + 1.0
+            work += float(np.sum(2.0 * search_spans))
+            max_span = max(max_span, float(np.max(search_spans)))
+        scheduler.charge(work, max_span + ceil_log2(max(num_segments, 1)) + 1.0)
+    return results
 
 
 def prefix_length_greater_than(

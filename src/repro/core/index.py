@@ -74,7 +74,7 @@ class ScanIndex:
         graph: Graph,
         *,
         measure: str = "cosine",
-        backend: str = "merge",
+        backend: str = "batch",
         approximate: ApproximationConfig | None = None,
         use_integer_sort: bool = True,
         num_workers: int = PAPER_NUM_THREADS,
@@ -89,8 +89,9 @@ class ScanIndex:
         measure:
             Structural similarity measure (``cosine``, ``jaccard``, ``dice``).
         backend:
-            Exact similarity backend (``merge``, ``hash``, ``matmul``);
-            ignored when ``approximate`` is given.
+            Exact similarity backend (``batch`` -- the vectorised default --
+            ``merge``, ``hash``, ``matmul``); ignored when ``approximate``
+            is given.
         approximate:
             When provided, similarities are estimated with LSH sketches
             (SimHash for cosine, MinHash for Jaccard) instead of computed

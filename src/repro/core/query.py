@@ -24,10 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..parallel.metrics import ceil_log2
+from ..parallel.primitives import segmented_ranges
 from ..parallel.scheduler import Scheduler
 from ..parallel.unionfind import UnionFind
 from .clustering import UNCLUSTERED, Clustering
-from .doubling import prefix_length_at_least
+from .doubling import prefix_lengths_at_least
 
 
 def get_cores(
@@ -58,41 +59,29 @@ def _epsilon_similar_arcs(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """All arcs (core u, neighbor v, similarity) with similarity >= epsilon.
 
-    Each core's ε-similar neighbors form a prefix of its neighbor-order list,
-    located by doubling search (Algorithm 5, line 4).
+    Each core's ε-similar neighbors form a prefix of its neighbor-order list.
+    All prefixes are located with one batched doubling search over the
+    neighbor order's similarity array (Algorithm 5, line 4) and gathered with
+    a single segmented expansion -- there is no Python-level loop over cores.
     """
-    sources: list[np.ndarray] = []
-    targets: list[np.ndarray] = []
-    similarities: list[np.ndarray] = []
-    # One doubling search per core; the searches are independent, so the span
-    # of the whole step is the largest single search, not their sum.
-    probe = Scheduler(scheduler.num_workers)
-    max_search_span = 0.0
-    for u in cores:
-        u = int(u)
-        keys = neighbor_order.similarities_of(u)
-        span_before = probe.counter.span
-        count = prefix_length_at_least(keys, epsilon, scheduler=probe)
-        max_search_span = max(max_search_span, probe.counter.span - span_before)
-        if count == 0:
-            continue
-        sources.append(np.full(count, u, dtype=np.int64))
-        targets.append(neighbor_order.neighbors_of(u)[:count])
-        similarities.append(keys[:count])
-    scheduler.charge(
-        probe.counter.work, max_search_span + ceil_log2(max(int(cores.size), 1)) + 1.0
+    starts = neighbor_order.indptr[cores]
+    lengths = neighbor_order.indptr[cores + 1] - starts
+    counts = prefix_lengths_at_least(
+        neighbor_order.similarities, epsilon, starts, lengths, scheduler=scheduler
     )
-    if not sources:
+    total = int(counts.sum())
+    if total == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty.copy(), np.zeros(0, dtype=np.float64)
-    scheduler.charge(
-        sum(chunk.shape[0] for chunk in sources),
-        ceil_log2(max(len(sources), 1)) + 1.0,
-    )
+    # Gathering the prefixes is one flat parallel copy: work proportional to
+    # the number of emitted arcs, span the fork-tree over the non-empty cores.
+    num_nonempty = int(np.count_nonzero(counts))
+    scheduler.charge(total, ceil_log2(max(num_nonempty, 1)) + 1.0)
+    positions = segmented_ranges(starts, counts)
     return (
-        np.concatenate(sources),
-        np.concatenate(targets),
-        np.concatenate(similarities),
+        np.repeat(cores, counts),
+        neighbor_order.neighbors[positions],
+        neighbor_order.similarities[positions],
     )
 
 
@@ -144,12 +133,10 @@ def cluster(
             # keeps the first writer; we mirror that by keeping the first arc
             # in traversal order.
             order = np.arange(border_targets.shape[0])
-        seen: set[int] = set()
-        for position in order:
-            v = int(border_targets[position])
-            if v in seen:
-                continue
-            seen.add(v)
-            labels[v] = labels[int(border_sources[position])]
+        # First occurrence of every border vertex in priority order, found
+        # with one sort-based pass instead of a per-arc Python loop
+        # (np.unique returns the index of the first occurrence).
+        border_vertices, winner = np.unique(border_targets[order], return_index=True)
+        labels[border_vertices] = labels[border_sources[order[winner]]]
 
     return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)

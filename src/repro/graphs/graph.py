@@ -72,6 +72,16 @@ class Graph:
         if validate:
             self._validate()
         self._build_edge_index()
+        # Memoised derived structures.  The similarity engines, the neighbor
+        # order and the finalise step all re-derive the degree orientation
+        # (and the LSH split re-reads the degrees), so both are computed once
+        # on first use and cached for the lifetime of the graph.  Graphs are
+        # immutable after construction, which makes the caching safe.
+        self._degrees: np.ndarray | None = None
+        self._degree_oriented_csr: DegreeOrientedCsr | None = None
+        self._arc_search_keys: np.ndarray | None = None
+        self._oriented_sources: np.ndarray | None = None
+        self._oriented_search_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -160,8 +170,10 @@ class Graph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Array of vertex degrees."""
-        return np.diff(self.indptr)
+        """Array of vertex degrees (memoised; do not mutate)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
@@ -218,7 +230,11 @@ class Graph:
         return float(self.edge_weights[edge])
 
     def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
-        """Canonical edge endpoints ``(edge_u, edge_v)`` with ``u < v``."""
+        """Canonical edge endpoints ``(edge_u, edge_v)`` with ``u < v``.
+
+        Returns the arrays stored at construction time (no recomputation);
+        callers must not mutate them.
+        """
         return self.edge_u, self.edge_v
 
     def edges(self):
@@ -259,7 +275,10 @@ class Graph:
         This is the structure the merge-based similarity engine iterates
         over: each triangle of the graph appears exactly once as an arc
         ``u -> v`` plus a shared out-neighbor ``x`` of ``u`` and ``v``.
+        The result is memoised on the graph; callers must not mutate it.
         """
+        if self._degree_oriented_csr is not None:
+            return self._degree_oriented_csr
         degrees = self.degrees
         n = self.num_vertices
         sources = self._arc_sources
@@ -277,7 +296,47 @@ class Graph:
         out_degrees = np.bincount(out_sources, minlength=n).astype(np.int64)
         out_indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(out_degrees, out=out_indptr[1:])
-        return DegreeOrientedCsr(out_indptr, out_targets, out_edge_ids, out_weights)
+        self._degree_oriented_csr = DegreeOrientedCsr(
+            out_indptr, out_targets, out_edge_ids, out_weights
+        )
+        self._oriented_sources = out_sources
+        return self._degree_oriented_csr
+
+    def oriented_arc_sources(self) -> np.ndarray:
+        """Source vertex of every arc of the degree orientation (memoised)."""
+        if self._oriented_sources is None:
+            self.degree_oriented_csr()
+        return self._oriented_sources
+
+    def oriented_search_keys(self) -> np.ndarray:
+        """Composite ``source * n + target`` key of every oriented arc.
+
+        Strictly increasing (sources non-decreasing, targets strictly
+        increasing per source), with a trailing ``-1`` sentinel so a
+        ``searchsorted`` miss past the end compares unequal without bounds
+        checks.  Memoised; the batch similarity engine probes this array.
+        """
+        if self._oriented_search_keys is None:
+            oriented = self.degree_oriented_csr()
+            keys = self._oriented_sources * np.int64(self.num_vertices) + oriented.indices
+            self._oriented_search_keys = np.append(keys, np.int64(-1))
+        return self._oriented_search_keys
+
+    def arc_search_keys(self) -> np.ndarray:
+        """Composite ``source * n + target`` key of every arc (memoised).
+
+        The CSR arrays list arcs sorted by source and, within a source, by
+        target, so the composite keys are strictly increasing: a single
+        ``np.searchsorted`` over them answers batched adjacency probes for
+        arbitrary ``(vertex, neighbor)`` pairs, which is what the vectorised
+        similarity engines build their intersections from.  A trailing ``-1``
+        sentinel lets a miss past the end compare unequal without bounds
+        checks (search against ``[:num_arcs]``, gather from the full array).
+        """
+        if self._arc_search_keys is None:
+            keys = self._arc_sources * np.int64(self.num_vertices) + self.indices
+            self._arc_search_keys = np.append(keys, np.int64(-1))
+        return self._arc_search_keys
 
     def degree_ordered_arcs(self) -> tuple[np.ndarray, np.ndarray]:
         """Arcs of the degree orientation used by merge-based triangle counting.
@@ -285,22 +344,11 @@ class Graph:
         Every undirected edge is directed toward the endpoint of higher degree
         (ties broken toward the higher vertex id), as in Section 6.1.  Returns
         ``(out_indptr, out_indices)`` of the resulting DAG; out-neighbor lists
-        are sorted by vertex id.
+        are sorted by vertex id.  A view of the memoised
+        :meth:`degree_oriented_csr` structure.
         """
-        degrees = self.degrees
-        n = self.num_vertices
-        sources = self._arc_sources
-        targets = self.indices
-        rank_source = degrees[sources] * np.int64(n) + sources
-        rank_target = degrees[targets] * np.int64(n) + targets
-        keep = rank_source < rank_target
-        out_sources = sources[keep]
-        out_targets = targets[keep]
-        out_degrees = np.bincount(out_sources, minlength=n).astype(np.int64)
-        out_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(out_degrees, out=out_indptr[1:])
-        # Arcs are visited in CSR order, so within a source the targets stay sorted.
-        return out_indptr, out_targets
+        oriented = self.degree_oriented_csr()
+        return oriented.indptr, oriented.indices
 
     def subgraph_edge_mask(self, vertex_mask: np.ndarray) -> np.ndarray:
         """Boolean mask over canonical edges with both endpoints selected."""

@@ -8,9 +8,11 @@ accurate than comparing ``k``-length sketches.  The implementation therefore
 1. marks a vertex *high-degree* when its degree exceeds ``k`` (cosine /
    SimHash) or ``3k/2`` (Jaccard / MinHash);
 2. approximates only the edges whose *both* endpoints are high-degree,
-   comparing their sketches;
-3. computes every remaining edge exactly with the merge/hash similarity
-   engine restricted to those edges.
+   comparing their sketches in one batched array pass;
+3. computes every remaining edge exactly with the vectorised batch
+   similarity engine restricted to those edges
+   (:func:`~repro.similarity.batch.edge_numerators_for_subset`), so the
+   low-degree side of the split also runs without per-edge Python loops.
 
 The result is an :class:`~repro.similarity.exact.EdgeSimilarities` whose
 ``measure`` is prefixed with ``approx_`` so downstream code can tell the two
@@ -26,6 +28,7 @@ import numpy as np
 from ..graphs.graph import Graph
 from ..parallel.metrics import ceil_log2
 from ..parallel.scheduler import Scheduler
+from ..similarity.batch import edge_numerators_for_subset
 from ..similarity.exact import EdgeSimilarities
 from .minhash import estimate_jaccard_batch, k_partition_minhash_sketches, minhash_sketches
 from .simhash import estimate_cosine_batch, simhash_sketches
@@ -85,63 +88,28 @@ def _exact_similarities_for_edges(
     """Exact similarity of the selected edges only (the low-degree fallback).
 
     Uses the same "probe the larger neighborhood with the smaller one"
-    strategy as Algorithm 1, restricted to the requested edges and run as a
-    single parallel loop: work adds up across edges, span is the largest
-    single edge.
+    strategy as Algorithm 1, restricted to the requested edges, executed as
+    one batched array pass (:func:`~repro.similarity.batch.
+    edge_numerators_for_subset`) rather than a per-edge Python loop; work
+    still adds up across edges with the span of the largest single edge.
     """
-    edge_u, edge_v = graph.edge_list()
-    values = np.zeros(edge_ids.shape[0], dtype=np.float64)
-    weighted = graph.is_weighted
-
-    # Per-vertex neighbor -> weight maps, built lazily so only the touched
-    # vertices pay for them.
-    neighbor_maps: dict[int, dict[int, float]] = {}
-
-    def neighbor_map(vertex: int) -> dict[int, float]:
-        table = neighbor_maps.get(vertex)
-        if table is None:
-            table = dict(
-                zip(graph.neighbors(vertex).tolist(), graph.neighbor_weights(vertex).tolist())
-            )
-            neighbor_maps[vertex] = table
-        return table
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    numerators = edge_numerators_for_subset(graph, edge_ids, scheduler)
+    edge_u_all, edge_v_all = graph.edge_list()
+    u = edge_u_all[edge_ids]
+    v = edge_v_all[edge_ids]
 
     if measure == "cosine":
-        if weighted:
+        if graph.is_weighted:
             squared = np.zeros(graph.num_vertices, dtype=np.float64)
             np.add.at(squared, graph.arc_sources(), graph.arc_weights ** 2)
             norms = np.sqrt(squared + 1.0)
         else:
             norms = np.sqrt(graph.degrees.astype(np.float64) + 1.0)
-    else:
-        norms = None
-
-    total_work = 0.0
-    max_span = 0.0
-    for position, edge in enumerate(edge_ids):
-        u, v = int(edge_u[edge]), int(edge_v[edge])
-        if graph.degree(u) > graph.degree(v):
-            u, v = v, u
-        cost = graph.degree(u) + 1
-        total_work += cost
-        max_span = max(max_span, ceil_log2(max(cost, 1)) + 1.0)
-        table_v = neighbor_map(v)
-        numerator = 0.0
-        for x, w_ux in zip(graph.neighbors(u).tolist(), graph.neighbor_weights(u).tolist()):
-            w_vx = table_v.get(x)
-            if w_vx is not None:
-                numerator += w_ux * w_vx
-        weight_uv = graph.edge_weight(u, v) if weighted else 1.0
-        numerator += 2.0 * weight_uv
-        if measure == "cosine":
-            values[position] = numerator / (norms[u] * norms[v])
-        else:  # jaccard over closed neighborhoods (unweighted graphs only)
-            closed = (graph.degree(u) + 1) + (graph.degree(v) + 1)
-            values[position] = numerator / (closed - numerator)
-    scheduler.charge(
-        total_work, max_span + ceil_log2(max(int(edge_ids.size), 1)) + 1.0
-    )
-    return values
+        return numerators / (norms[u] * norms[v])
+    # Jaccard over closed neighborhoods (unweighted graphs only).
+    closed = (graph.degrees[u] + 1.0) + (graph.degrees[v] + 1.0)
+    return numerators / (closed - numerators)
 
 
 def compute_approximate_similarities(

@@ -8,7 +8,7 @@ parallel primitives the paper relies on (reduce, filter, scan, sorting,
 hash tables, union-find).
 """
 
-from .metrics import CostReport, WorkSpanCounter, ceil_log2
+from .metrics import CostReport, WorkSpanCounter, ceil_log2, ceil_log2_array
 from .scheduler import PAPER_NUM_THREADS, Scheduler, sequential_scheduler
 from .primitives import (
     parallel_count,
@@ -20,6 +20,8 @@ from .primitives import (
     parallel_reduce,
     parallel_scan,
     remove_duplicates,
+    segmented_arange,
+    segmented_ranges,
 )
 from .sorting import (
     comparison_sort_permutation,
@@ -36,6 +38,7 @@ __all__ = [
     "CostReport",
     "WorkSpanCounter",
     "ceil_log2",
+    "ceil_log2_array",
     "PAPER_NUM_THREADS",
     "Scheduler",
     "sequential_scheduler",
@@ -48,6 +51,8 @@ __all__ = [
     "parallel_reduce",
     "parallel_scan",
     "remove_duplicates",
+    "segmented_arange",
+    "segmented_ranges",
     "comparison_sort_permutation",
     "integer_sort_permutation",
     "rationals_to_sort_keys",

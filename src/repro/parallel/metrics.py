@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 def ceil_log2(n: int) -> float:
     """Return ``ceil(log2(n))`` for ``n >= 1`` and ``0`` for smaller inputs.
@@ -31,6 +33,20 @@ def ceil_log2(n: int) -> float:
     if n <= 1:
         return 0.0
     return float(math.ceil(math.log2(n)))
+
+
+def ceil_log2_array(values: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`ceil_log2` over an integer array, as float64.
+
+    Used by the vectorised engines to charge per-segment fork-tree depths in
+    one array pass.  Exact for inputs below ``2**53`` (``np.frexp`` decomposes
+    ``x = m * 2**e`` with ``0.5 <= m < 1``, so ``ceil_log2(x)`` is ``e - 1``
+    for exact powers of two and ``e`` otherwise), unlike a naive
+    ``np.ceil(np.log2(x))`` which can be off by one at power-of-two inputs.
+    """
+    values = np.asarray(values)
+    mantissa, exponent = np.frexp(np.maximum(values, 1).astype(np.float64))
+    return np.where(mantissa == 0.5, exponent - 1, exponent).astype(np.float64)
 
 
 @dataclass

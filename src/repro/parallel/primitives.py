@@ -170,3 +170,37 @@ def parallel_flatten(
     return np.concatenate([np.asarray(chunk) for chunk in chunks]) if total else np.zeros(
         0, dtype=np.asarray(chunks[0]).dtype
     )
+
+
+def segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(counts[i])`` for every segment ``i``.
+
+    The pair-expansion step the vectorised engines are built on: a flat index
+    within each segment, computed with one scan and two gathers (no scheduler
+    charge -- callers account for the expansion as part of the surrounding
+    parallel step).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def segmented_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + counts[i])`` per segment.
+
+    The start-shifted variant of :func:`segmented_arange`, fused into a single
+    repeat: block ``i`` is one shifted arange beginning at ``starts[i]``, so
+    repeating the per-segment shift over a flat arange covers all segments at
+    once.  This is the canonical gather-expansion of the vectorised engines
+    (candidate positions of a CSR segment, prefix positions of an order).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    block_starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - block_starts, counts)

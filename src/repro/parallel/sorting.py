@@ -181,6 +181,16 @@ def segmented_sort_by_key(
 
     sort_keys = -keys if descending else keys
     # Stable sort by (segment, key): primary key is the segment id so segments
-    # stay contiguous; the secondary key orders within the segment.
+    # stay contiguous; the secondary key orders within the segment.  When the
+    # key range allows it, the pair is packed into a single int64 so one
+    # stable argsort replaces the two-array lexsort (~2x faster on the hot
+    # index-construction path); ties resolve identically because equal packed
+    # keys are exactly equal (segment, key) pairs and both sorts are stable.
+    if np.issubdtype(sort_keys.dtype, np.integer):
+        key_low = int(sort_keys.min())
+        key_span = int(sort_keys.max()) - key_low + 1
+        if num_segments * key_span <= (1 << 62):
+            packed = segment_ids * np.int64(key_span) + (sort_keys - np.int64(key_low))
+            return values[np.argsort(packed, kind="stable")]
     order = np.lexsort((sort_keys, segment_ids))
     return values[order]

@@ -11,6 +11,7 @@ from .measures import (
     jaccard_similarity,
     weighted_cosine_similarity,
 )
+from .batch import batch_numerators, edge_numerators_for_subset
 from .exact import BACKENDS, EdgeSimilarities, compute_similarities
 
 __all__ = [
@@ -25,5 +26,7 @@ __all__ = [
     "weighted_cosine_similarity",
     "BACKENDS",
     "EdgeSimilarities",
+    "batch_numerators",
     "compute_similarities",
+    "edge_numerators_for_subset",
 ]
