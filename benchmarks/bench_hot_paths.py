@@ -27,7 +27,9 @@ from pathlib import Path
 from repro import ScanIndex
 from repro.bench import format_table
 from repro.graphs import planted_partition
+from repro.parallel import Scheduler
 from repro.similarity import compute_similarities
+from repro.similarity.batch import batch_numerators
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hot_paths.json"
@@ -89,6 +91,18 @@ def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict
             index.query(mu, epsilon)
 
     query_seconds, _ = _time(lambda: [run_queries() for _ in range(QUERY_REPEATS)])
+
+    # Membership-probe strategy comparison (the before/after of the bounded
+    # per-source-segment search vs the global composite-key searchsorted):
+    # recorded on every rung so the crossover driving `resolve_probe`'s
+    # "auto" heuristic stays visible in the JSON trajectory.
+    probe_seconds = {}
+    for strategy in ("global", "bounded"):
+        probe_seconds[strategy], _ = _time(
+            lambda strategy=strategy: batch_numerators(
+                graph, Scheduler(), probe=strategy
+            )
+        )
     return {
         "num_vertices": graph.num_vertices,
         "num_edges": graph.num_edges,
@@ -96,6 +110,7 @@ def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict
         "construction_seconds": construction,
         "similarity_seconds": similarity_only,
         "query_seconds_per_batch": query_seconds / QUERY_REPEATS,
+        "probe_seconds": probe_seconds,
         # The backend only controls the similarity stage; the neighbor/core
         # order sorts are identical work for every backend, so the engine
         # comparison is the similarity construction time.
@@ -120,6 +135,11 @@ def run(ladder, output: Path | None) -> dict:
             f"arcs={record['num_arcs']}: batch similarity engine is "
             f"{record['batch_speedup_over_merge']:.1f}x faster than merge "
             f"({record['index_build_speedup_over_merge']:.1f}x on the full index build)"
+        )
+        probes = record["probe_seconds"]
+        print(
+            f"arcs={record['num_arcs']}: probe strategies -- global "
+            f"{probes['global']*1000:.1f} ms vs bounded {probes['bounded']*1000:.1f} ms"
         )
     if output is not None:
         output.write_text(json.dumps(results, indent=2) + "\n")

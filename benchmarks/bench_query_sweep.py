@@ -1,0 +1,157 @@
+"""Query-sweep benchmark: build -> save -> load -> batched multi-(μ, ε) queries.
+
+Not a figure of the paper -- this tracks the repo's own serving trajectory:
+the wall-clock cost of answering a whole parameter sweep from a *loaded*
+columnar index artifact, batched through ``ScanIndex.query_many``, against
+issuing the same settings one ``query`` at a time.  Results accumulate in
+``BENCH_query_sweep.json`` next to the repository root so successive PRs can
+compare planner and storage changes over time.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_query_sweep.py            # default ladder
+    PYTHONPATH=src python benchmarks/bench_query_sweep.py --tiny     # CI smoke run
+
+or through pytest (smoke-sized, asserts the batched planner stays ahead and
+the loaded artifact answers identically)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_query_sweep.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ScanIndex
+from repro.bench import format_table
+from repro.graphs import planted_partition
+from repro.quality.sweep import epsilon_grid, mu_grid
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_query_sweep.json"
+
+#: (num_clusters, cluster_size, p_intra, p_inter) ladder.
+DEFAULT_LADDER = [
+    (10, 40, 0.30, 0.010),
+    (25, 50, 0.30, 0.006),
+    (60, 60, 0.35, 0.005),
+]
+TINY_LADDER = [(4, 20, 0.30, 0.02)]
+
+#: ε-grid step of the swept parameter grid (~20 settings per μ).
+SWEEP_EPSILON_STEP = 0.05
+
+
+def sweep_pairs(graph) -> list[tuple[int, float]]:
+    """The benchmark's parameter grid: powers-of-two μ times a 0.05 ε grid."""
+    return [
+        (mu, float(eps))
+        for mu in mu_grid(graph.max_degree + 1)
+        for eps in epsilon_grid(SWEEP_EPSILON_STEP)
+    ]
+
+
+def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict:
+    """Build, persist, reload and sweep one graph; return the timing record."""
+    graph = planted_partition(
+        num_clusters, cluster_size, p_intra=p_intra, p_inter=p_inter, seed=seed
+    )
+    started = time.perf_counter()
+    index = ScanIndex.build(graph)
+    build_seconds = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as scratch:
+        artifact_path = Path(scratch) / "index.scanidx"
+        started = time.perf_counter()
+        index.save(artifact_path)
+        save_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        loaded = ScanIndex.load(artifact_path)
+        load_seconds = time.perf_counter() - started
+
+        pairs = sweep_pairs(graph)
+        started = time.perf_counter()
+        batched = loaded.query_many(pairs, deterministic_borders=True)
+        batched_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        singles = [
+            loaded.query(mu, epsilon, deterministic_borders=True)
+            for mu, epsilon in pairs
+        ]
+        per_pair_seconds = time.perf_counter() - started
+
+    mismatches = sum(
+        not np.array_equal(a.labels, b.labels) for a, b in zip(batched, singles)
+    )
+    return {
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_arcs": graph.num_arcs,
+        "num_settings": len(pairs),
+        "build_seconds": build_seconds,
+        "save_seconds": save_seconds,
+        "load_seconds": load_seconds,
+        "batched_sweep_seconds": batched_seconds,
+        "per_pair_sweep_seconds": per_pair_seconds,
+        "sweep_speedup": per_pair_seconds / max(batched_seconds, 1e-12),
+        "settings_per_second_batched": len(pairs) / max(batched_seconds, 1e-12),
+        "mismatching_clusterings": mismatches,
+    }
+
+
+def run(ladder, output: Path | None) -> dict:
+    """Benchmark every rung of ``ladder`` and optionally write the JSON."""
+    results = {"benchmark": "query_sweep", "graphs": [bench_graph(*rung) for rung in ladder]}
+    rows = [
+        [
+            record["num_arcs"],
+            record["num_settings"],
+            round(record["load_seconds"], 4),
+            round(record["batched_sweep_seconds"], 4),
+            round(record["per_pair_sweep_seconds"], 4),
+            round(record["sweep_speedup"], 2),
+        ]
+        for record in results["graphs"]
+    ]
+    print(format_table(
+        ["arcs", "settings", "load_s", "batched_s", "per_pair_s", "speedup"], rows
+    ))
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    return results
+
+
+def test_query_sweep_smoke(tmp_path):
+    """Smoke run: the loaded artifact answers the grid, batching stays ahead."""
+    results = run(TINY_LADDER, tmp_path / "BENCH_query_sweep.json")
+    record = results["graphs"][0]
+    assert (tmp_path / "BENCH_query_sweep.json").exists()
+    assert record["mismatching_clusterings"] == 0
+    assert record["num_settings"] >= 20
+    assert record["batched_sweep_seconds"] < record["per_pair_sweep_seconds"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="CI-sized smoke ladder")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    results = run(TINY_LADDER if args.tiny else DEFAULT_LADDER, args.output)
+    for record in results["graphs"]:
+        if record["mismatching_clusterings"]:
+            print("ERROR: batched sweep disagrees with per-pair queries")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,15 +42,18 @@ from .core.clustering import UNCLUSTERED, Clustering
 from .core.index import ScanIndex
 from .lsh.approximate import ApproximationConfig, compute_approximate_similarities
 from .similarity.exact import EdgeSimilarities, compute_similarities
+from .storage import ArtifactFormatError, IndexArtifact
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "UNCLUSTERED",
     "Clustering",
     "ScanIndex",
     "ApproximationConfig",
+    "ArtifactFormatError",
     "EdgeSimilarities",
+    "IndexArtifact",
     "compute_similarities",
     "compute_approximate_similarities",
     "__version__",

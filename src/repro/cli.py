@@ -8,6 +8,18 @@ Usage (after installation)::
     python -m repro run figure6 --scale tiny --datasets orkut-like webbase-like
     python -m repro cluster edges.txt --mu 5 --epsilon 0.6   # cluster your own graph
 
+The index-artifact workflow separates the expensive build from the cheap
+queries (the point of the paper's design): build once, save the columnar
+artifact, then answer any number of ``(μ, ε)`` settings -- singly or as one
+batched sweep -- from the saved artifact without recomputing similarities or
+re-sorting the orders::
+
+    python -m repro index build edges.txt my.scanidx --measure cosine
+    python -m repro index query my.scanidx --mu 5 --epsilon 0.6
+    python -m repro index query my.scanidx --pairs 3:0.4 5:0.6 5:0.7 8:0.6
+    python -m repro cluster edges.txt --mu 5 --epsilon 0.6 --save my.scanidx
+    python -m repro cluster --load my.scanidx --mu 8 --epsilon 0.7
+
 The ``run`` subcommand prints the same rows the benchmark suite produces, so
 a single figure can be reproduced without going through pytest.
 """
@@ -23,6 +35,7 @@ from .bench.experiments import ALL_EXPERIMENTS
 from .bench.reporting import format_table
 from .core.index import ScanIndex
 from .graphs.io import read_edge_list
+from .lsh.approximate import ApproximationConfig
 from .similarity.exact import BACKENDS
 
 
@@ -72,13 +85,37 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_cluster(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.graph)
-    index = ScanIndex.build(graph, measure=args.measure, backend=args.backend)
+    if args.load is not None:
+        conflicts = []
+        if args.graph is not None:
+            conflicts.append(f"edge-list file {args.graph!r}")
+        if args.measure != "cosine":
+            conflicts.append("--measure")
+        if args.backend != "batch":
+            conflicts.append("--backend")
+        if conflicts:
+            print(
+                "cluster: --load reads the saved artifact's graph and measure; "
+                f"drop {', '.join(conflicts)} or build fresh without --load",
+                file=sys.stderr,
+            )
+            return 2
+        index = ScanIndex.load(args.load)
+        graph = index.graph
+    elif args.graph is not None:
+        graph = read_edge_list(args.graph)
+        index = ScanIndex.build(graph, measure=args.measure, backend=args.backend)
+    else:
+        print("cluster: provide an edge-list file or --load ARTIFACT", file=sys.stderr)
+        return 2
+    if args.save is not None:
+        path = index.save(args.save)
+        print(f"saved index artifact to {path}")
     clustering = index.query(
         args.mu, args.epsilon, deterministic_borders=True, classify_hubs_and_outliers=True
     )
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
-    print(f"parameters: mu={args.mu}, epsilon={args.epsilon}, measure={args.measure}")
+    print(f"parameters: mu={args.mu}, epsilon={args.epsilon}, measure={index.measure}")
     print(f"clusters: {clustering.num_clusters}  "
           f"clustered vertices: {clustering.num_clustered_vertices}  "
           f"hubs: {clustering.hubs().size}  outliers: {clustering.outliers().size}")
@@ -88,6 +125,61 @@ def _command_cluster(args: argparse.Namespace) -> int:
         for cluster_id, members in sorted(clustering.clusters().items())
     ]
     print(format_table(["cluster", "size", "members"], rows))
+    return 0
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    approximate = None
+    if args.approx_samples is not None:
+        if args.measure not in ("cosine", "jaccard"):
+            print(
+                f"index build: --approx-samples supports cosine (SimHash) and "
+                f"jaccard (MinHash) only, not {args.measure!r}",
+                file=sys.stderr,
+            )
+            return 2
+        approximate = ApproximationConfig(
+            measure=args.measure, num_samples=args.approx_samples, seed=args.seed
+        )
+    index = ScanIndex.build(
+        graph, measure=args.measure, backend=args.backend, approximate=approximate
+    )
+    path = index.save(args.artifact)
+    report = index.construction_report
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"built {index.measure} index: work={report.work:.3g} span={report.span:.3g} "
+          f"wall={report.wall_seconds:.3f}s")
+    print(f"saved index artifact to {path}")
+    return 0
+
+
+def _parse_pairs(tokens: Sequence[str]) -> list[tuple[int, float]]:
+    """Parse ``mu:epsilon`` tokens into ``(mu, epsilon)`` pairs."""
+    pairs = []
+    for token in tokens:
+        try:
+            mu_text, epsilon_text = token.split(":", 1)
+            pairs.append((int(mu_text), float(epsilon_text)))
+        except ValueError:
+            raise SystemExit(f"invalid pair {token!r}; expected MU:EPSILON, e.g. 5:0.6")
+    return pairs
+
+
+def _command_index_query(args: argparse.Namespace) -> int:
+    index = ScanIndex.load(args.artifact)
+    print(f"loaded {index.measure} index: {index.graph.num_vertices} vertices, "
+          f"{index.graph.num_edges} edges")
+    if args.pairs:
+        pairs = _parse_pairs(args.pairs)
+    else:
+        pairs = [(args.mu, args.epsilon)]
+    clusterings = index.query_many(pairs, deterministic_borders=True)
+    rows = [
+        [mu, epsilon, clustering.num_clusters, clustering.num_clustered_vertices]
+        for (mu, epsilon), clustering in zip(pairs, clusterings)
+    ]
+    print(format_table(["mu", "epsilon", "clusters", "clustered vertices"], rows))
     return 0
 
 
@@ -114,13 +206,49 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(handler=_command_run)
 
     cluster = subparsers.add_parser("cluster", help="cluster an edge-list file with SCAN")
-    cluster.add_argument("graph", help="path to an edge-list file (u v [weight] per line)")
+    cluster.add_argument("graph", nargs="?", default=None,
+                         help="path to an edge-list file (u v [weight] per line); "
+                              "omit when loading a saved artifact with --load")
     cluster.add_argument("--mu", type=int, default=5)
     cluster.add_argument("--epsilon", type=float, default=0.6)
     cluster.add_argument("--measure", choices=("cosine", "jaccard", "dice"), default="cosine")
     cluster.add_argument("--backend", choices=BACKENDS, default="batch",
                          help="exact similarity engine (default: the vectorised batch engine)")
+    cluster.add_argument("--save", metavar="ARTIFACT", default=None,
+                         help="save the built index as a columnar artifact directory")
+    cluster.add_argument("--load", metavar="ARTIFACT", default=None,
+                         help="load a saved index artifact instead of building")
     cluster.set_defaults(handler=_command_cluster)
+
+    index = subparsers.add_parser(
+        "index", help="build or query a persistent columnar index artifact"
+    )
+    index_subparsers = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_subparsers.add_parser(
+        "build", help="build a SCAN index from an edge list and save it"
+    )
+    index_build.add_argument("graph", help="path to an edge-list file")
+    index_build.add_argument("artifact", help="output artifact directory")
+    index_build.add_argument("--measure", choices=("cosine", "jaccard", "dice"),
+                             default="cosine")
+    index_build.add_argument("--backend", choices=BACKENDS, default="batch")
+    index_build.add_argument("--approx-samples", type=int, default=None,
+                             help="approximate similarities with this many LSH samples")
+    index_build.add_argument("--seed", type=int, default=0,
+                             help="seed of the LSH sketching randomness")
+    index_build.set_defaults(handler=_command_index_build)
+
+    index_query = index_subparsers.add_parser(
+        "query", help="answer (mu, epsilon) queries from a saved artifact"
+    )
+    index_query.add_argument("artifact", help="artifact directory written by 'index build'")
+    index_query.add_argument("--mu", type=int, default=5)
+    index_query.add_argument("--epsilon", type=float, default=0.6)
+    index_query.add_argument("--pairs", nargs="+", metavar="MU:EPSILON", default=None,
+                             help="batch of settings answered by one planned sweep, "
+                                  "e.g. --pairs 3:0.4 5:0.6 5:0.7")
+    index_query.set_defaults(handler=_command_index_query)
 
     return parser
 

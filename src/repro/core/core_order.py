@@ -28,7 +28,7 @@ from ..parallel.sorting import (
     comparison_sort_permutation,
     integer_sort_permutation,
     segmented_sort_by_key,
-    similarity_sort_keys,
+    similarity_rank_keys,
 )
 from .doubling import prefix_length_at_least, prefix_lengths_at_least
 from .neighbor_order import NeighborOrder
@@ -154,7 +154,7 @@ def build_core_order(
     # One global segmented sort orders every CO[mu] by non-increasing
     # threshold (ties by vertex id, inherited from the stable sort).
     if use_integer_sort:
-        keys = similarity_sort_keys(all_thresholds)
+        keys = similarity_rank_keys(all_thresholds)
     else:
         keys = all_thresholds
     positions = np.arange(all_vertices.shape[0], dtype=np.int64)

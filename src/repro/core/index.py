@@ -20,12 +20,25 @@ Approximate (LSH-based) construction is selected by passing an
 :class:`~repro.lsh.approximate.ApproximationConfig`::
 
     index = ScanIndex.build(graph, approximate=ApproximationConfig(num_samples=128))
+
+A built index is a durable artifact: :meth:`ScanIndex.save` flattens it into
+the columnar on-disk format of :mod:`repro.storage` and :meth:`ScanIndex.load`
+memory-maps it back -- no similarity computation and no sorting happen on the
+load path.  Whole parameter sweeps go through :meth:`ScanIndex.query_many`,
+which plans a batch of ``(μ, ε)`` settings together so shared index probes are
+executed once::
+
+    index.save("orkut.scanidx")
+    index = ScanIndex.load("orkut.scanidx")
+    clusterings = index.query_many([(5, 0.6), (5, 0.7), (8, 0.6)])
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -205,6 +218,64 @@ class ScanIndex:
         if classify_hubs_and_outliers:
             classify_unclustered(self.graph, clustering, scheduler=scheduler)
         return clustering
+
+    def query_many(
+        self,
+        pairs: Iterable[tuple[int, float]] | Sequence[tuple[int, float]],
+        *,
+        scheduler: Scheduler | None = None,
+        deterministic_borders: bool = False,
+        classify_hubs_and_outliers: bool = False,
+    ) -> list[Clustering]:
+        """Clusterings for a whole batch of ``(mu, epsilon)`` settings.
+
+        The batch is planned by :mod:`repro.core.sweep_query`: pairs sharing
+        an ε reuse one gathered arc set, and all doubling searches run as
+        shared batches, so a 50-point parameter sweep costs far less than 50
+        :meth:`query` calls.  Results arrive in input order and are identical
+        to per-pair :meth:`query` calls with the same options.
+        """
+        from .sweep_query import query_many as _query_many
+
+        scheduler = scheduler if scheduler is not None else Scheduler()
+        clusterings = _query_many(
+            self.graph,
+            self.neighbor_order,
+            self.core_order,
+            pairs,
+            scheduler=scheduler,
+            deterministic_borders=deterministic_borders,
+        )
+        if classify_hubs_and_outliers:
+            for clustering in clusterings:
+                classify_unclustered(self.graph, clustering, scheduler=scheduler)
+        return clusterings
+
+    # ------------------------------------------------------------------
+    # Persistence (the storage/ subsystem seam)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Persist the index as a columnar artifact directory.
+
+        See :mod:`repro.storage.format` for the on-disk layout (uncompressed
+        ``.npz`` columns plus a JSON header).
+        """
+        from ..storage.artifact import save_index
+
+        return save_index(self, path)
+
+    @classmethod
+    def load(cls, path: str | Path, *, mmap_mode: str | None = "r") -> "ScanIndex":
+        """Load a saved index artifact, memory-mapping its columns.
+
+        The load path performs no similarity computation and no sorting: the
+        graph, the per-edge scores and both orders come straight from the
+        stored columns.  ``mmap_mode=None`` reads everything into memory
+        instead of mapping it.
+        """
+        from ..storage.artifact import load_index
+
+        return load_index(path, mmap_mode=mmap_mode)
 
     # ------------------------------------------------------------------
     # Introspection

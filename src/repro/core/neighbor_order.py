@@ -22,7 +22,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..parallel.scheduler import Scheduler
-from ..parallel.sorting import segmented_sort_by_key, similarity_sort_keys
+from ..parallel.sorting import segmented_sort_by_key, similarity_rank_keys
 from ..similarity.exact import EdgeSimilarities
 from .doubling import prefix_length_at_least
 
@@ -117,7 +117,7 @@ def build_neighbor_order(
     arc_positions = np.arange(graph.num_arcs, dtype=np.int64)
 
     if use_integer_sort:
-        keys = similarity_sort_keys(arc_similarities)
+        keys = similarity_rank_keys(arc_similarities)
     else:
         keys = arc_similarities
 

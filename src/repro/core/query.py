@@ -85,6 +85,90 @@ def _epsilon_similar_arcs(
     )
 
 
+def cluster_from_arcs(
+    graph,
+    cores: np.ndarray,
+    arc_sources: np.ndarray,
+    arc_targets: np.ndarray,
+    arc_similarities: np.ndarray,
+    mu: int,
+    epsilon: float,
+    *,
+    scheduler: Scheduler,
+    deterministic_borders: bool = False,
+) -> Clustering:
+    """Clustering from precomputed cores and their ε-similar arcs.
+
+    The tail of Algorithm 5 -- union-find over the core-core arcs followed by
+    border attachment -- shared by the single-query path (:func:`cluster`)
+    and the batched multi-parameter planner
+    (:mod:`repro.core.sweep_query`), which supplies arcs it gathered once for
+    a whole ε-group.  Arcs must arrive in the same traversal order the
+    single-query path produces (cores in ``CO[μ]``-prefix order, each core's
+    arcs in neighbor-order) so that the first-writer border rule matches
+    bit for bit.
+    """
+    n = graph.num_vertices
+    labels = np.full(n, UNCLUSTERED, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+    if cores.size == 0:
+        return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
+    core_mask[cores] = True
+
+    # Connectivity over the ε-similar core-core edges (union-find, Section 6.2).
+    core_to_core = core_mask[arc_targets]
+    forest = UnionFind(n)
+    forest.union_batch(scheduler, arc_sources[core_to_core], arc_targets[core_to_core])
+    labels[cores] = forest.find_batch(scheduler, cores)
+
+    # Border vertices: non-core endpoints of ε-similar edges out of cores.
+    border_arcs = ~core_to_core
+    attach_borders(
+        labels,
+        arc_sources[border_arcs],
+        arc_targets[border_arcs],
+        arc_similarities[border_arcs],
+        scheduler=scheduler,
+        deterministic=deterministic_borders,
+    )
+    return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
+
+
+def attach_borders(
+    labels: np.ndarray,
+    border_sources: np.ndarray,
+    border_targets: np.ndarray,
+    border_similarities: np.ndarray,
+    *,
+    scheduler: Scheduler,
+    deterministic: bool = False,
+) -> None:
+    """Assign border vertices to a neighboring core's cluster (Algorithm 4).
+
+    ``border_*`` list the ε-similar core -> non-core arcs; ``labels`` must
+    already hold the core labels and is updated in place.  Shared by the
+    single-query tail above and the batched sweep planner.
+    """
+    scheduler.charge(
+        int(border_targets.size), ceil_log2(max(int(border_targets.size), 1)) + 1.0
+    )
+    if not border_targets.size:
+        return
+    if deterministic:
+        # Most similar neighboring core wins; ties go to the lower core id.
+        order = np.lexsort((border_sources, -border_similarities))
+    else:
+        # Arbitrary assignment: the paper uses a compare-and-swap, which
+        # keeps the first writer; we mirror that by keeping the first arc
+        # in traversal order.
+        order = np.arange(border_targets.shape[0])
+    # First occurrence of every border vertex in priority order, found
+    # with one sort-based pass instead of a per-arc Python loop
+    # (np.unique returns the index of the first occurrence).
+    border_vertices, winner = np.unique(border_targets[order], return_index=True)
+    labels[border_vertices] = labels[border_sources[order[winner]]]
+
+
 def cluster(
     graph,
     neighbor_order,
@@ -97,46 +181,25 @@ def cluster(
 ) -> Clustering:
     """SCAN clustering for ``(mu, epsilon)`` from the index (Algorithm 5)."""
     scheduler = scheduler if scheduler is not None else Scheduler()
-    n = graph.num_vertices
-    labels = np.full(n, UNCLUSTERED, dtype=np.int64)
-    core_mask = np.zeros(n, dtype=bool)
-
     cores = get_cores(core_order, mu, epsilon, scheduler=scheduler)
     if cores.size == 0:
-        return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
-    core_mask[cores] = True
-
+        return Clustering(
+            np.full(graph.num_vertices, UNCLUSTERED, dtype=np.int64),
+            np.zeros(graph.num_vertices, dtype=bool),
+            mu=mu,
+            epsilon=epsilon,
+        )
     arc_sources, arc_targets, arc_similarities = _epsilon_similar_arcs(
         neighbor_order, cores, epsilon, scheduler
     )
-
-    # Connectivity over the ε-similar core-core edges (union-find, Section 6.2).
-    core_to_core = core_mask[arc_targets]
-    forest = UnionFind(n)
-    forest.union_batch(scheduler, arc_sources[core_to_core], arc_targets[core_to_core])
-    labels[cores] = forest.find_batch(scheduler, cores)
-
-    # Border vertices: non-core endpoints of ε-similar edges out of cores.
-    border_arcs = ~core_to_core
-    border_sources = arc_sources[border_arcs]
-    border_targets = arc_targets[border_arcs]
-    border_similarities = arc_similarities[border_arcs]
-    scheduler.charge(
-        int(border_targets.size), ceil_log2(max(int(border_targets.size), 1)) + 1.0
+    return cluster_from_arcs(
+        graph,
+        cores,
+        arc_sources,
+        arc_targets,
+        arc_similarities,
+        mu,
+        epsilon,
+        scheduler=scheduler,
+        deterministic_borders=deterministic_borders,
     )
-    if border_targets.size:
-        if deterministic_borders:
-            # Most similar neighboring core wins; ties go to the lower core id.
-            order = np.lexsort((border_sources, -border_similarities))
-        else:
-            # Arbitrary assignment: the paper uses a compare-and-swap, which
-            # keeps the first writer; we mirror that by keeping the first arc
-            # in traversal order.
-            order = np.arange(border_targets.shape[0])
-        # First occurrence of every border vertex in priority order, found
-        # with one sort-based pass instead of a per-arc Python loop
-        # (np.unique returns the index of the first occurrence).
-        border_vertices, winner = np.unique(border_targets[order], return_index=True)
-        labels[border_vertices] = labels[border_sources[order[winner]]]
-
-    return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)

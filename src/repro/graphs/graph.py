@@ -63,6 +63,7 @@ class Graph:
         arc_weights: np.ndarray | None = None,
         *,
         validate: bool = True,
+        arc_edge_ids: np.ndarray | None = None,
     ) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
@@ -71,7 +72,7 @@ class Graph:
         )
         if validate:
             self._validate()
-        self._build_edge_index()
+        self._build_edge_index(arc_edge_ids)
         # Memoised derived structures.  The similarity engines, the neighbor
         # order and the finalise step all re-derive the degree orientation
         # (and the LSH split re-reads the degrees), so both are computed once
@@ -111,8 +112,13 @@ class Graph:
                     "(sorted, no duplicates)"
                 )
 
-    def _build_edge_index(self) -> None:
-        """Derive the canonical edge list and the arc -> edge id mapping."""
+    def _build_edge_index(self, arc_edge_ids: np.ndarray | None = None) -> None:
+        """Derive the canonical edge list and the arc -> edge id mapping.
+
+        When ``arc_edge_ids`` is supplied (a loaded index artifact handing the
+        mapping back), the lexicographic sort/search below is skipped entirely
+        -- reconstruction from stored columns must not redo any ordering work.
+        """
         n = self.num_vertices
         sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
         targets = self.indices
@@ -123,13 +129,18 @@ class Graph:
             self.edge_weights = self.arc_weights[forward]
         else:
             self.edge_weights = None
-        # Canonical edge ids are assigned in the order forward arcs appear in
-        # the CSR arrays, i.e. sorted by (u, v).  Every arc (x -> y) maps to
-        # the id of edge (min(x,y), max(x,y)) via a lexicographic search.
         num_edges = int(self.edge_u.shape[0])
-        arc_min = np.minimum(sources, targets)
-        arc_max = np.maximum(sources, targets)
-        if num_edges:
+        if arc_edge_ids is not None:
+            self.arc_edge_ids = np.asarray(arc_edge_ids, dtype=np.int64)
+            if self.arc_edge_ids.shape != self.indices.shape:
+                raise ValueError("arc_edge_ids must align with indices")
+        elif num_edges:
+            # Canonical edge ids are assigned in the order forward arcs appear
+            # in the CSR arrays, i.e. sorted by (u, v).  Every arc (x -> y)
+            # maps to the id of edge (min(x,y), max(x,y)) via a lexicographic
+            # search.
+            arc_min = np.minimum(sources, targets)
+            arc_max = np.maximum(sources, targets)
             order = np.lexsort((self.edge_v, self.edge_u))
             # Edges are already produced in lexicographic (u, v) order by the
             # CSR scan, so `order` is the identity; keep the general code path
@@ -144,6 +155,24 @@ class Graph:
         else:
             self.arc_edge_ids = np.zeros(0, dtype=np.int64)
         self._arc_sources = sources
+
+    @classmethod
+    def from_index_columns(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        arc_weights: np.ndarray | None,
+        arc_edge_ids: np.ndarray,
+    ) -> "Graph":
+        """Reconstruct a graph from the columns of a stored index artifact.
+
+        Skips validation (the artifact was written from a validated graph)
+        and reuses the stored arc -> edge id mapping, so no sorting or
+        searching happens on the load path.
+        """
+        return cls(
+            indptr, indices, arc_weights, validate=False, arc_edge_ids=arc_edge_ids
+        )
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -204,23 +233,60 @@ class Graph:
         """Source vertex of every arc (length ``2m``)."""
         return self._arc_sources
 
+    def locate_neighbors(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched adjacency probes: position of ``vs[i]`` in ``us[i]``'s list.
+
+        Returns ``(positions, found)`` where ``positions[i]`` is the absolute
+        arc position at which ``vs[i]`` sits (or would be inserted) in the
+        neighbor list of ``us[i]``, and ``found[i]`` says whether the edge
+        exists.  All probes run as one simultaneous bounded binary search over
+        the CSR arrays -- ``O(log max_degree)`` rounds for the whole batch
+        instead of one scalar ``np.searchsorted`` call per probe.  Every
+        scalar adjacency probe (:meth:`has_edge`, :meth:`edge_id`,
+        :meth:`closed_neighborhood`, the reference similarity measures) routes
+        through this helper.
+        """
+        from ..parallel.primitives import segmented_searchsorted
+
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.size <= 4:
+            # Tiny batches (the scalar accessors): one C-speed bounded
+            # search per probe beats the simultaneous-rounds machinery.
+            positions = np.empty(us.shape, dtype=np.int64)
+            for i, (u, v) in enumerate(zip(us.tolist(), vs.tolist())):
+                start, end = int(self.indptr[u]), int(self.indptr[u + 1])
+                positions[i] = start + int(
+                    np.searchsorted(self.indices[start:end], v)
+                )
+        else:
+            positions = segmented_searchsorted(
+                self.indices, vs, self.indptr[us], self.indptr[us + 1]
+            )
+        in_range = positions < self.indptr[us + 1]
+        found = np.zeros(us.shape, dtype=bool)
+        if in_range.any():
+            hits = np.flatnonzero(in_range)
+            found[hits] = self.indices[positions[hits]] == vs[hits]
+        return positions, found
+
     def has_edge(self, u: int, v: int) -> bool:
         """True when ``{u, v}`` is an edge of the graph."""
         if u == v:
             return False
-        neighbors = self.neighbors(u)
-        position = int(np.searchsorted(neighbors, v))
-        return position < neighbors.size and neighbors[position] == v
+        _, found = self.locate_neighbors(np.array([u]), np.array([v]))
+        return bool(found[0])
 
     def edge_id(self, u: int, v: int) -> int:
         """Canonical edge id of ``{u, v}``; raises ``KeyError`` if absent."""
         if u > v:
             u, v = v, u
-        neighbors = self.neighbors(u)
-        position = int(np.searchsorted(neighbors, v))
-        if position >= neighbors.size or neighbors[position] != v:
+        positions, found = self.locate_neighbors(np.array([u]), np.array([v]))
+        if not found[0]:
             raise KeyError(f"edge ({u}, {v}) not in graph")
-        return int(self.arc_edge_ids[self.indptr[u] + position])
+        return int(self.arc_edge_ids[positions[0]])
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of edge ``{u, v}`` (1.0 for unweighted graphs)."""
@@ -248,8 +314,8 @@ class Graph:
     def closed_neighborhood(self, v: int) -> np.ndarray:
         """Sorted closed neighborhood ``N(v) ∪ {v}`` of vertex ``v``."""
         neighbors = self.neighbors(v)
-        position = int(np.searchsorted(neighbors, v))
-        return np.insert(neighbors, position, v)
+        positions, _ = self.locate_neighbors(np.array([v]), np.array([v]))
+        return np.insert(neighbors, int(positions[0]) - int(self.indptr[v]), v)
 
     def adjacency_matrix(self, *, include_self_loops: bool = False) -> np.ndarray:
         """Dense adjacency (or weight) matrix as float64.

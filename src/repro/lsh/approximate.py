@@ -134,7 +134,7 @@ def compute_approximate_similarities(
 
     measure_label = f"approx_{config.measure}"
     if graph.num_edges == 0:
-        return EdgeSimilarities(graph, np.zeros(0, dtype=np.float64), measure_label)
+        return EdgeSimilarities(graph, np.zeros(0, dtype=np.float64), measure_label, "lsh")
 
     threshold = config.resolved_threshold()
     degrees = graph.degrees
@@ -196,4 +196,4 @@ def compute_approximate_similarities(
             graph, exact_edges, config.measure, scheduler
         )
 
-    return EdgeSimilarities(graph, values, measure_label)
+    return EdgeSimilarities(graph, values, measure_label, "lsh")

@@ -20,10 +20,32 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..parallel.metrics import ceil_log2
+from ..parallel.primitives import segmented_ranges
 from ..parallel.scheduler import Scheduler
 
 #: Sentinel marking an empty bucket in a k-partition sketch.
 EMPTY_BUCKET = np.int64(np.iinfo(np.int64).max)
+
+
+def _flatten_closed_neighborhoods(
+    graph: Graph, selected: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Closed neighborhoods of ``selected``, flattened into one item array.
+
+    Returns ``(items, starts, lengths)`` where segment ``i`` of ``items``
+    holds ``N(selected[i]) ∪ {selected[i]}`` (order within a segment is
+    irrelevant to MinHash, which only takes minima).  One segmented gather,
+    no per-vertex Python loop.
+    """
+    lengths = graph.degrees[selected] + 1
+    starts = np.cumsum(lengths) - lengths
+    items = np.empty(int(lengths.sum()), dtype=np.int64)
+    neighbor_dest = segmented_ranges(starts, lengths - 1)
+    items[neighbor_dest] = graph.indices[
+        segmented_ranges(graph.indptr[selected], lengths - 1)
+    ]
+    items[starts + lengths - 1] = selected
+    return items, starts, lengths
 
 def _random_hash_parameters(num_functions: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
     """Per-function multipliers and offsets seeding the splitmix64-style hash."""
@@ -63,6 +85,13 @@ def minhash_sketches(
 
     Returns an ``n x k`` int64 array.  Work ``O(k * Σ degree)``, span
     ``O(log n + log k)``.
+
+    All selected closed neighborhoods are flattened into one item array once;
+    each of the ``k`` hash functions is then applied to the whole array and
+    the per-vertex minima fall out of one segmented ``np.minimum.reduceat``
+    pass.  The only Python loop runs over the ``k`` samples, never over
+    vertices, and the minima are bitwise identical to the per-vertex path
+    (integer minimum over the same multiset).
     """
     if num_samples < 1:
         raise ValueError(f"num_samples must be >= 1, got {num_samples}")
@@ -77,7 +106,30 @@ def minhash_sketches(
         num_samples * (total_degree + selected.size),
         ceil_log2(max(n, 1)) + ceil_log2(max(num_samples, 1)) + 1.0,
     )
+    if selected.size == 0:
+        return sketches
 
+    items, starts, _ = _flatten_closed_neighborhoods(graph, selected)
+    for sample in range(num_samples):
+        hashed = _hash_values(items, int(multipliers[sample]), int(offsets[sample]))
+        # Closed neighborhoods always contain the vertex itself, so every
+        # reduceat segment is non-empty.
+        sketches[selected, sample] = np.minimum.reduceat(hashed, starts)
+    return sketches
+
+
+def _minhash_sketches_scalar(
+    graph: Graph,
+    num_samples: int,
+    *,
+    seed: int = 0,
+    vertices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reference per-vertex loop the vectorised path is pinned against."""
+    n = graph.num_vertices
+    multipliers, offsets = _random_hash_parameters(num_samples, seed)
+    sketches = np.full((n, num_samples), EMPTY_BUCKET, dtype=np.int64)
+    selected = np.arange(n, dtype=np.int64) if vertices is None else np.asarray(vertices)
     for v in selected:
         v = int(v)
         closed = graph.closed_neighborhood(v)
@@ -112,6 +164,10 @@ def k_partition_minhash_sketches(
     value is ``hash // k``.  The sketch stores the minimum in-bucket value per
     bucket, with :data:`EMPTY_BUCKET` marking buckets no element landed in.
     Work ``O(Σ (degree + k))``, span ``O(log n)``.
+
+    Vectorised as one hash pass over the flattened closed neighborhoods
+    followed by a sort-based segmented minimum over the composite
+    ``(vertex, bucket)`` keys -- no Python loop at all.
     """
     if num_samples < 1:
         raise ValueError(f"num_samples must be >= 1, got {num_samples}")
@@ -127,7 +183,42 @@ def k_partition_minhash_sketches(
         total_degree + int(selected.size) * num_samples,
         ceil_log2(max(n, 1)) + 1.0,
     )
+    if selected.size == 0:
+        return sketches
 
+    items, _, lengths = _flatten_closed_neighborhoods(graph, selected)
+    hashed = _hash_values(items, multiplier, offset)
+    buckets = hashed % num_samples
+    values = hashed // num_samples
+    # Composite (selected row, bucket) key of every hashed item; sorting the
+    # keys makes each occupied bucket a contiguous run whose minimum one
+    # reduceat pass extracts.
+    rows = np.repeat(np.arange(selected.size, dtype=np.int64), lengths)
+    composite = rows * np.int64(num_samples) + buckets
+    order = np.argsort(composite, kind="stable")
+    sorted_keys = composite[order]
+    run_starts = np.flatnonzero(
+        np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
+    )
+    minima = np.minimum.reduceat(values[order], run_starts)
+    occupied = sorted_keys[run_starts]
+    sketches[selected[occupied // num_samples], occupied % num_samples] = minima
+    return sketches
+
+
+def _k_partition_minhash_sketches_scalar(
+    graph: Graph,
+    num_samples: int,
+    *,
+    seed: int = 0,
+    vertices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reference per-vertex loop the vectorised path is pinned against."""
+    n = graph.num_vertices
+    multipliers, offsets = _random_hash_parameters(1, seed)
+    multiplier, offset = int(multipliers[0]), int(offsets[0])
+    sketches = np.full((n, num_samples), EMPTY_BUCKET, dtype=np.int64)
+    selected = np.arange(n, dtype=np.int64) if vertices is None else np.asarray(vertices)
     for v in selected:
         v = int(v)
         closed = graph.closed_neighborhood(v)

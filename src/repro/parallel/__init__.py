@@ -22,12 +22,14 @@ from .primitives import (
     remove_duplicates,
     segmented_arange,
     segmented_ranges,
+    segmented_searchsorted,
 )
 from .sorting import (
     comparison_sort_permutation,
     integer_sort_permutation,
     rationals_to_sort_keys,
     segmented_sort_by_key,
+    similarity_rank_keys,
     similarity_sort_keys,
     sort_by_key,
 )
@@ -53,10 +55,12 @@ __all__ = [
     "remove_duplicates",
     "segmented_arange",
     "segmented_ranges",
+    "segmented_searchsorted",
     "comparison_sort_permutation",
     "integer_sort_permutation",
     "rationals_to_sort_keys",
     "segmented_sort_by_key",
+    "similarity_rank_keys",
     "similarity_sort_keys",
     "sort_by_key",
     "ParallelHashMap",

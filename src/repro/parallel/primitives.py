@@ -188,6 +188,38 @@ def segmented_arange(counts: np.ndarray) -> np.ndarray:
     return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
 
 
+def segmented_searchsorted(
+    values: np.ndarray,
+    queries: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> np.ndarray:
+    """Per-query lower-bound binary search bounded to a segment of ``values``.
+
+    For every query ``i`` the search runs over ``values[starts[i]:ends[i]]``
+    (which must be sorted ascending) and returns the absolute position of the
+    first entry ``>= queries[i]`` (``ends[i]`` when every entry is smaller).
+    All queries advance *simultaneously*: the loop below runs
+    ``O(log max_segment_length)`` rounds of whole-array compares, never one
+    iteration per query, so the log factor is the segment length rather than
+    the length of ``values`` -- the point of routing adjacency probes through
+    this instead of a global ``np.searchsorted`` over composite keys.
+    """
+    queries = np.asarray(queries)
+    low = np.asarray(starts, dtype=np.int64).copy()
+    high = np.asarray(ends, dtype=np.int64).copy()
+    if low.shape != high.shape or low.shape != queries.shape:
+        raise ValueError("queries, starts and ends must have equal shape")
+    active = np.flatnonzero(low < high)
+    while active.size:
+        middle = (low[active] + high[active]) >> 1
+        below = values[middle] < queries[active]
+        low[active] = np.where(below, middle + 1, low[active])
+        high[active] = np.where(below, high[active], middle)
+        active = active[low[active] < high[active]]
+    return low
+
+
 def segmented_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenation of ``arange(starts[i], starts[i] + counts[i])`` per segment.
 

@@ -107,10 +107,36 @@ def similarity_sort_keys(similarities: np.ndarray, resolution: int = 1 << 20) ->
     ``resolution`` steps reproduces the paper's "sort rationals as integers"
     trick with a fixed precision far finer than any similarity threshold a
     user would pass.
+
+    .. warning:: Quantisation merges raw float values that fall in the same
+       bucket, so an order built from these keys is only non-increasing *up
+       to the bucket width*.  The index orders are built with
+       :func:`similarity_rank_keys` instead, whose keys preserve the exact
+       float order -- a doubling search against the raw scores then has a
+       well-defined boundary regardless of probe sequence.
     """
     similarities = np.asarray(similarities, dtype=np.float64)
     clipped = np.clip(similarities, 0.0, 1.0)
     return np.round(clipped * resolution).astype(np.int64)
+
+
+def similarity_rank_keys(similarities: np.ndarray) -> np.ndarray:
+    """Dense integer ranks of similarity scores, preserving exact float order.
+
+    The modern rendering of the paper's "sort rationals as integers" trick:
+    the distinct score values (at most one per edge) are ranked ``0 .. d-1``
+    in ascending order and every score is replaced by its rank.  Sorting by
+    rank is *exactly* sorting by raw value -- no quantisation bucket ever
+    merges two distinct floats -- while the key domain stays dense enough for
+    the packed single-array integer sort of
+    :func:`segmented_sort_by_key`.  This is what keeps the stored neighbor
+    and core orders strictly non-increasing in the raw scores, which in turn
+    makes every prefix search (scalar doubling, batched simultaneous, single
+    query or planned sweep) land on the same boundary.
+    """
+    similarities = np.asarray(similarities, dtype=np.float64)
+    _, inverse = np.unique(similarities, return_inverse=True)
+    return inverse.astype(np.int64)
 
 
 def sort_by_key(

@@ -99,26 +99,38 @@ def modularity_sweep(
     ``epsilon_step`` defaults to a coarser grid than the paper's 0.01 so that
     laptop-scale runs stay fast; pass ``parameters=parameter_grid(graph)``
     for the full Σ.
+
+    The grid is answered through :meth:`ScanIndex.query_many
+    <repro.core.index.ScanIndex.query_many>` one ε-group at a time -- the
+    planner's unit of reuse (settings sharing an ε share one gathered arc
+    set and one union-find forest) -- and each group's clusterings are
+    scored and dropped before the next group runs, so peak memory stays at
+    one group's clusterings rather than the whole grid's.
     """
     graph = index.graph
     if parameters is None:
         parameters = parameter_grid(graph, epsilon_step=epsilon_step)
-    entries: list[SweepEntry] = []
-    for mu, epsilon in parameters:
-        clustering = index.query(
-            mu, epsilon, deterministic_borders=deterministic_borders
+    parameters = list(parameters)
+    groups: dict[float, list[int]] = {}
+    for position, (_, epsilon) in enumerate(parameters):
+        groups.setdefault(float(epsilon), []).append(position)
+    entries: list[SweepEntry | None] = [None] * len(parameters)
+    for positions in groups.values():
+        group_parameters = [parameters[position] for position in positions]
+        clusterings = index.query_many(
+            group_parameters, deterministic_borders=deterministic_borders
         )
-        score = modularity(graph, clustering)
-        entries.append(
-            SweepEntry(
+        for position, (mu, epsilon), clustering in zip(
+            positions, group_parameters, clusterings
+        ):
+            entries[position] = SweepEntry(
                 mu=mu,
                 epsilon=epsilon,
-                modularity=score,
+                modularity=modularity(graph, clustering),
                 num_clusters=clustering.num_clusters,
                 num_clustered=clustering.num_clustered_vertices,
             )
-        )
-    return SweepResult(entries)
+    return SweepResult(entries)  # type: ignore[arg-type]
 
 
 def best_clustering(

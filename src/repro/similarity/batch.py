@@ -8,9 +8,20 @@ the *same* algorithm array-at-once:
 1. expand the oriented arcs into flat ``(arc, candidate)`` pairs, where the
    candidates of arc ``u -> v`` are the out-neighbors of ``v`` (memory use is
    bounded by processing the pairs in chunks of ``chunk_pairs``);
-2. test every candidate ``x`` for membership in ``out(u)`` with a single
-   ``np.searchsorted`` over the composite keys ``source * n + target`` of the
-   oriented CSR, which are strictly increasing by construction;
+2. test every candidate ``x`` for membership in ``out(u)`` with one of two
+   probe strategies (see :data:`PROBE_STRATEGIES` and :func:`resolve_probe`):
+   ``"global"`` searches the memoised composite keys ``source * n + target``
+   of the whole oriented CSR with a single C-speed ``np.searchsorted``
+   (``O(log 2m)`` per probe); ``"bounded"`` runs a per-source-segment
+   simultaneous binary search (:func:`~repro.parallel.primitives.
+   segmented_searchsorted`) restricted to ``u``'s out-segment, costing only
+   ``O(log max_out_degree)`` *rounds* of whole-array passes for the entire
+   chunk.  Which one wins is a constant-factor question -- the bounded
+   search does asymptotically less comparison work but pays numpy-pass
+   overhead per round, so it only overtakes the C binary search when
+   out-segments are very short -- and ``"auto"`` (the default) picks by the
+   measured crossover; ``BENCH_hot_paths.json`` records both strategies on
+   every benchmark rung;
 3. scatter the three per-triangle contributions onto the canonical edge ids
    (``np.add.at`` semantics, executed via ``np.bincount`` which is
    dramatically faster for large scatters).
@@ -34,7 +45,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..parallel.metrics import ceil_log2
-from ..parallel.primitives import segmented_ranges
+from ..parallel.primitives import segmented_ranges, segmented_searchsorted
 from ..parallel.scheduler import Scheduler
 
 #: Default bound on the number of ``(arc, candidate)`` pairs materialised at
@@ -42,17 +53,41 @@ from ..parallel.scheduler import Scheduler
 #: the scales this engine targets while keeping each chunk BLAS-friendly.
 DEFAULT_CHUNK_PAIRS = 1 << 22
 
+#: Membership-probe strategies of the batch engine (see module docstring).
+PROBE_STRATEGIES = ("auto", "global", "bounded")
+
+#: ``"auto"`` switches to the bounded segmented probe when the longest
+#: searched segment needs at most this many binary-search rounds.  Measured
+#: crossover (``BENCH_hot_paths.json``, probe microbenchmark): each bounded
+#: round costs several whole-array numpy passes, so the C-speed global search
+#: wins unless segments are short enough to resolve in a handful of rounds.
+BOUNDED_PROBE_MAX_ROUNDS = 3
+
+
+def resolve_probe(probe: str, max_segment_length: int) -> str:
+    """Resolve ``"auto"`` to a concrete probe strategy for a given workload."""
+    if probe not in PROBE_STRATEGIES:
+        raise ValueError(f"unknown probe strategy {probe!r}; expected one of {PROBE_STRATEGIES}")
+    if probe != "auto":
+        return probe
+    if max_segment_length <= (1 << BOUNDED_PROBE_MAX_ROUNDS):
+        return "bounded"
+    return "global"
+
 
 def batch_numerators(
     graph: Graph,
     scheduler: Scheduler,
     *,
     chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    probe: str = "auto",
 ) -> np.ndarray:
     """Closed-neighborhood dot product of every edge, with no per-arc loop.
 
     Returns the same numerator array as ``_numerators_merge`` (up to float
-    summation order) and charges the same work/span.
+    summation order) and charges the same work/span.  ``probe`` selects the
+    membership-probe strategy (module docstring); the default picks by the
+    measured crossover.
     """
     if chunk_pairs < 1:
         raise ValueError(f"chunk_pairs must be positive, got {chunk_pairs}")
@@ -67,7 +102,6 @@ def batch_numerators(
     else:
         numerators += 2.0 * graph.edge_weights
 
-    n = graph.num_vertices
     num_oriented = int(targets.shape[0])
     if num_oriented == 0:
         scheduler.charge(0.0, ceil_log2(max(num_edges, 1)) + 1.0)
@@ -75,9 +109,12 @@ def batch_numerators(
 
     out_degrees = np.diff(indptr)
     sources = graph.oriented_arc_sources()
-    # Strictly increasing composite key of every oriented arc (memoised on
-    # the graph, with a trailing sentinel for bounds-free miss detection).
-    comp = graph.oriented_search_keys()
+    probe = resolve_probe(probe, int(out_degrees.max(initial=0)))
+    if probe == "global":
+        # Strictly increasing composite key of every oriented arc (memoised
+        # on the graph, with a trailing sentinel for bounds-free misses).
+        comp = graph.oriented_search_keys()
+        n = graph.num_vertices
 
     # Cost model: identical to the merge backend.  Arcs whose target has no
     # out-neighbors are skipped there before any cost accrues.  The maximum
@@ -107,12 +144,25 @@ def batch_numerators(
         # arc u -> v are the positions of v's out-segment.
         pair_arc = np.repeat(np.arange(arc_start, arc_end, dtype=np.int64), counts)
         candidate_pos = segmented_ranges(indptr[targets[arc_start:arc_end]], counts)
-        keys = np.repeat(
-            sources[arc_start:arc_end] * np.int64(n), counts
-        ) + targets[candidate_pos]
-        locations = np.searchsorted(comp[:num_oriented], keys)
-        # A miss past the end lands on the sentinel and compares unequal.
-        found = comp[locations] == keys
+        queries = targets[candidate_pos]
+        if probe == "global":
+            keys = np.repeat(sources[arc_start:arc_end] * np.int64(n), counts) + queries
+            locations = np.searchsorted(comp[:num_oriented], keys)
+            # A miss past the end lands on the sentinel and compares unequal.
+            found = comp[locations] == keys
+        else:
+            # Bounded probe: candidate x of arc u -> v is searched only
+            # within u's out-segment, all probes advancing together.
+            pair_sources = np.repeat(sources[arc_start:arc_end], counts)
+            seg_ends = indptr[pair_sources + 1]
+            locations = segmented_searchsorted(
+                targets, queries, indptr[pair_sources], seg_ends
+            )
+            # A probe that exhausts its segment stops at seg_ends; clip
+            # before gathering so the comparison stays in bounds (and fails).
+            found = (locations < seg_ends) & (
+                targets[np.minimum(locations, num_oriented - 1)] == queries
+            )
         if found.any():
             arc_uv = pair_arc[found]       # oriented position of edge (u, v)
             arc_ux = locations[found]      # position of x in out(u)
@@ -142,6 +192,7 @@ def edge_numerators_for_subset(
     scheduler: Scheduler,
     *,
     chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    probe: str = "auto",
 ) -> np.ndarray:
     """Closed-neighborhood dot products of the selected edges only.
 
@@ -162,9 +213,11 @@ def edge_numerators_for_subset(
     swap = degrees[u] > degrees[v]
     u, v = np.where(swap, v, u), np.where(swap, u, v)
 
-    n = graph.num_vertices
-    comp = graph.arc_search_keys()
     num_arcs = graph.num_arcs
+    probe = resolve_probe(probe, int(degrees[v].max(initial=0)))
+    if probe == "global":
+        n = graph.num_vertices
+        comp = graph.arc_search_keys()
     counts = degrees[u]
     costs = counts + 1
     total_work = float(costs.sum())
@@ -185,10 +238,21 @@ def edge_numerators_for_subset(
         pair_edge = np.repeat(np.arange(edge_start, edge_end, dtype=np.int64), chunk_counts)
         probe_pos = segmented_ranges(graph.indptr[u[edge_start:edge_end]], chunk_counts)
         candidates = graph.indices[probe_pos]
-        keys = v[pair_edge] * np.int64(n) + candidates
-        locations = np.searchsorted(comp[:num_arcs], keys)
-        # A miss past the end lands on the sentinel and compares unequal.
-        found = comp[locations] == keys
+        if probe == "global":
+            keys = v[pair_edge] * np.int64(n) + candidates
+            locations = np.searchsorted(comp[:num_arcs], keys)
+            # A miss past the end lands on the sentinel and compares unequal.
+            found = comp[locations] == keys
+        else:
+            # Bounded probe of candidate x within v's neighbor segment only.
+            pair_v = v[pair_edge]
+            seg_ends = graph.indptr[pair_v + 1]
+            locations = segmented_searchsorted(
+                graph.indices, candidates, graph.indptr[pair_v], seg_ends
+            )
+            found = (locations < seg_ends) & (
+                graph.indices[np.minimum(locations, num_arcs - 1)] == candidates
+            )
         if found.any():
             if graph.arc_weights is None:
                 contributions = np.ones(int(np.count_nonzero(found)), dtype=np.float64)

@@ -65,11 +65,15 @@ class EdgeSimilarities:
     measure:
         The similarity measure the scores were computed with (``cosine``,
         ``jaccard``, ``dice``, or their ``approx_``-prefixed variants).
+    backend:
+        The engine that produced the scores (``batch``, ``merge``, ``hash``,
+        ``matmul``, ``lsh``); informational, recorded in saved artifacts.
     """
 
     graph: Graph
     values: np.ndarray
     measure: str
+    backend: str = ""
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -269,7 +273,7 @@ def compute_similarities(
     scheduler = scheduler if scheduler is not None else Scheduler()
 
     if graph.num_edges == 0:
-        return EdgeSimilarities(graph, np.zeros(0, dtype=np.float64), measure)
+        return EdgeSimilarities(graph, np.zeros(0, dtype=np.float64), measure, backend)
 
     if backend == "batch":
         numerators = batch_numerators(graph, scheduler)
@@ -281,4 +285,4 @@ def compute_similarities(
         numerators = _numerators_matmul(graph, scheduler)
 
     values = _finalise(graph, numerators, measure, scheduler)
-    return EdgeSimilarities(graph, values, measure)
+    return EdgeSimilarities(graph, values, measure, backend)

@@ -95,7 +95,10 @@ def closed_neighborhood_weights(graph: Graph, v: int) -> tuple[np.ndarray, np.nd
     """
     neighbors = graph.neighbors(v)
     weights = graph.neighbor_weights(v)
-    position = int(np.searchsorted(neighbors, v))
+    # Routed through the graph's batched probe helper (bounded segmented
+    # search) rather than a scalar np.searchsorted over the neighbor slice.
+    positions, _ = graph.locate_neighbors(np.array([v]), np.array([v]))
+    position = int(positions[0]) - int(graph.indptr[v])
     items = np.insert(neighbors, position, v)
     values = np.insert(weights, position, 1.0)
     return items, values

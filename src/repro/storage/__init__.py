@@ -1,0 +1,22 @@
+"""Durable storage of the SCAN index as a columnar artifact.
+
+The build-once/serve-many separation of the paper only pays off if the index
+survives the process that built it.  This package flattens a
+:class:`~repro.core.index.ScanIndex` into named numpy columns
+(:class:`~repro.storage.artifact.IndexArtifact`), persists them as an
+uncompressed ``.npz`` plus a JSON header, and memory-maps them back on load
+-- the single construction seam behind ``ScanIndex.save`` / ``ScanIndex.load``
+and the CLI's ``index build`` / ``index query`` workflow.
+"""
+
+from .artifact import IndexArtifact, load_index, save_index
+from .format import FORMAT_NAME, FORMAT_VERSION, ArtifactFormatError
+
+__all__ = [
+    "IndexArtifact",
+    "load_index",
+    "save_index",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ArtifactFormatError",
+]

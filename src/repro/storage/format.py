@@ -1,0 +1,245 @@
+"""On-disk format of the columnar SCAN index artifact.
+
+An index artifact is a directory with exactly two entries:
+
+``header.json``
+    A small JSON document describing the payload.  Fields:
+
+    * ``format`` -- the literal string ``"repro-scan-index"``;
+    * ``version`` -- integer format version (:data:`FORMAT_VERSION`); readers
+      reject any other value, there is no cross-version migration;
+    * ``measure`` / ``backend`` -- similarity measure and engine the index
+      was built with (``backend`` is ``"lsh"`` for approximate indexes);
+    * ``num_vertices`` / ``num_edges`` / ``weighted`` -- graph shape;
+    * ``columns`` -- mapping from column name to ``{"dtype", "length"}``,
+      validated against the loaded arrays;
+    * ``construction`` -- the work/span/wall-clock record of the original
+      construction (``label``, ``work``, ``span``, ``wall_seconds``).
+
+``columns.npz``
+    An *uncompressed* ``np.savez`` archive holding one named numpy column per
+    index component.  With ``n`` vertices, ``m`` edges and ``max_mu`` the
+    largest closed-neighborhood size, the columns are:
+
+    ==========================  =========  ===========  =========================
+    column                      dtype      length       contents
+    ==========================  =========  ===========  =========================
+    ``graph_indptr``            int64      ``n + 1``    CSR offsets
+    ``graph_indices``           int64      ``2m``       CSR neighbor ids
+    ``graph_arc_edge_ids``      int64      ``2m``       arc -> canonical edge id
+    ``graph_arc_weights``       float64    ``2m``       per-arc weights
+                                                        (weighted graphs only)
+    ``edge_similarities``       float64    ``m``        per-edge similarity
+    ``no_neighbors``            int64      ``2m``       neighbor order ``NO``
+                                                        (offsets = graph_indptr)
+    ``no_similarities``         float64    ``2m``       similarities along NO
+    ``co_indptr``               int64      ``max_mu+2`` core order offsets by μ
+    ``co_vertices``             int64      ``2m``       core order ``CO`` entries
+    ``co_thresholds``           float64    ``2m``       core thresholds along CO
+    ==========================  =========  ===========  =========================
+
+Because the archive members are stored uncompressed, :func:`read_columns`
+can memory-map each column straight out of the zip file (``mmap_mode="r"``
+by default): loading an artifact touches no column data until a query reads
+it, which is what makes one saved build cheap to share across many serving
+processes.  Everything a query needs -- the sorted orders, the similarity
+scores, the arc -> edge mapping -- is stored explicitly, so reconstruction
+performs no similarity computation and no sorting of any kind.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+#: Magic string identifying the artifact format.
+FORMAT_NAME = "repro-scan-index"
+#: Current (and only readable) format version.
+FORMAT_VERSION = 1
+
+#: File names inside an artifact directory.
+HEADER_FILE = "header.json"
+COLUMNS_FILE = "columns.npz"
+
+#: Column name -> expected dtype; every artifact must provide all of these.
+REQUIRED_COLUMNS = {
+    "graph_indptr": np.int64,
+    "graph_indices": np.int64,
+    "graph_arc_edge_ids": np.int64,
+    "edge_similarities": np.float64,
+    "no_neighbors": np.int64,
+    "no_similarities": np.float64,
+    "co_indptr": np.int64,
+    "co_vertices": np.int64,
+    "co_thresholds": np.float64,
+}
+#: Columns that may be absent (unweighted graphs store no weights).
+OPTIONAL_COLUMNS = {
+    "graph_arc_weights": np.float64,
+}
+
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
+_LOCAL_HEADER_SIZE = 30
+
+
+class ArtifactFormatError(ValueError):
+    """A stored index artifact is missing, corrupt, or of the wrong version."""
+
+
+def write_header(directory: Path, meta: dict) -> Path:
+    """Write ``header.json`` for an artifact directory and return its path."""
+    path = directory / HEADER_FILE
+    path.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_header(directory: Path) -> dict:
+    """Read and validate ``header.json`` of an artifact directory."""
+    path = Path(directory) / HEADER_FILE
+    if not path.is_file():
+        raise ArtifactFormatError(f"{directory}: not an index artifact (no {HEADER_FILE})")
+    try:
+        header = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactFormatError(f"{path}: corrupt header ({error})") from error
+    validate_header(header)
+    return header
+
+
+def validate_header(header: dict) -> None:
+    """Check a parsed header for format name, version, and required fields."""
+    if not isinstance(header, dict):
+        raise ArtifactFormatError(f"header must be a JSON object, got {type(header).__name__}")
+    if header.get("format") != FORMAT_NAME:
+        raise ArtifactFormatError(
+            f"unrecognised artifact format {header.get('format')!r}; "
+            f"expected {FORMAT_NAME!r}"
+        )
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise ArtifactFormatError(
+            f"unsupported artifact format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION} only"
+        )
+    for key in ("measure", "num_vertices", "num_edges", "columns"):
+        if key not in header:
+            raise ArtifactFormatError(f"header is missing required field {key!r}")
+    recorded = set(header["columns"])
+    missing = set(REQUIRED_COLUMNS) - recorded
+    if missing:
+        raise ArtifactFormatError(f"header is missing required columns {sorted(missing)}")
+    unknown = recorded - set(REQUIRED_COLUMNS) - set(OPTIONAL_COLUMNS)
+    if unknown:
+        raise ArtifactFormatError(f"header declares unknown columns {sorted(unknown)}")
+
+
+def validate_columns(header: dict, columns: dict[str, np.ndarray]) -> None:
+    """Cross-check loaded columns against the header's dtype/length records."""
+    for name, spec in header["columns"].items():
+        if name not in columns:
+            raise ArtifactFormatError(f"column {name!r} declared in header but not stored")
+        column = columns[name]
+        if str(column.dtype) != spec["dtype"]:
+            raise ArtifactFormatError(
+                f"column {name!r}: stored dtype {column.dtype} != declared {spec['dtype']}"
+            )
+        if int(column.shape[0]) != int(spec["length"]):
+            raise ArtifactFormatError(
+                f"column {name!r}: stored length {column.shape[0]} != "
+                f"declared {spec['length']}"
+            )
+    expected = dict(REQUIRED_COLUMNS)
+    expected.update(OPTIONAL_COLUMNS)
+    for name, column in columns.items():
+        if name not in expected:
+            raise ArtifactFormatError(f"archive stores unknown column {name!r}")
+        if column.dtype != expected[name]:
+            raise ArtifactFormatError(
+                f"column {name!r} must have dtype {np.dtype(expected[name])}, "
+                f"got {column.dtype}"
+            )
+
+
+def write_columns(directory: Path, columns: dict[str, np.ndarray]) -> Path:
+    """Write the columns as an uncompressed ``.npz`` archive (mmap-friendly)."""
+    path = directory / COLUMNS_FILE
+    np.savez(path, **columns)
+    return path
+
+
+def read_columns(
+    directory: Path, *, mmap_mode: str | None = "r"
+) -> dict[str, np.ndarray]:
+    """Load the columns of an artifact, memory-mapping them when possible.
+
+    ``np.load`` ignores ``mmap_mode`` for ``.npz`` archives (it would have to
+    decompress), but :func:`write_columns` stores members uncompressed, so
+    each column's raw data sits contiguously inside the zip file at a known
+    offset.  This reader parses the zip's local headers plus each member's
+    ``.npy`` header and hands back ``np.memmap`` views directly into the
+    archive -- no column is read into memory until something indexes it.
+    Compressed members (from archives written by other tools) fall back to an
+    in-memory read; ``mmap_mode=None`` forces in-memory reads for everything.
+    """
+    path = Path(directory) / COLUMNS_FILE
+    if not path.is_file():
+        raise ArtifactFormatError(f"{directory}: not an index artifact (no {COLUMNS_FILE})")
+    if mmap_mode is None:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+
+    columns: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                if info.compress_type != zipfile.ZIP_STORED:
+                    with archive.open(info) as member:
+                        columns[name] = np.lib.format.read_array(member)
+                    continue
+                columns[name] = _mmap_member(path, info, mmap_mode)
+    except zipfile.BadZipFile as error:
+        raise ArtifactFormatError(f"{path}: corrupt column archive ({error})") from error
+    return columns
+
+
+def _mmap_member(path: Path, info: zipfile.ZipInfo, mmap_mode: str) -> np.ndarray:
+    """Memory-map one uncompressed ``.npy`` member of a zip archive."""
+    with path.open("rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(_LOCAL_HEADER_SIZE)
+        if len(local_header) != _LOCAL_HEADER_SIZE or (
+            local_header[:4] != _LOCAL_HEADER_SIGNATURE
+        ):
+            raise ArtifactFormatError(f"{path}: corrupt local header for {info.filename}")
+        name_length, extra_length = struct.unpack("<HH", local_header[26:30])
+        payload_offset = (
+            info.header_offset + _LOCAL_HEADER_SIZE + name_length + extra_length
+        )
+        handle.seek(payload_offset)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:  # pragma: no cover - numpy only writes 1.0/2.0 headers
+            raise ArtifactFormatError(
+                f"{path}: unsupported .npy header version {version} in {info.filename}"
+            )
+        data_offset = handle.tell()
+    if dtype.hasobject:  # pragma: no cover - never written by this library
+        raise ArtifactFormatError(f"{path}: object-dtype column {info.filename}")
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode=mmap_mode,
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran_order else "C",
+    )

@@ -12,6 +12,7 @@ from repro.bench import (
     figure8_approx_construction,
     figure9_modularity_tradeoff,
     figure10_ari_tradeoff,
+    sweep_throughput,
     table1_work_scaling,
     table2_datasets,
 )
@@ -20,10 +21,10 @@ SMALL = ("orkut-like", "cochlea-like")
 
 
 class TestRegistry:
-    def test_all_eight_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "figure5", "figure6", "figure7",
-            "figure8", "figure9", "figure10",
+            "figure8", "figure9", "figure10", "sweep",
         }
 
 
@@ -108,3 +109,9 @@ class TestQualityFigures:
         approx = {row[2]: row[4] for row in result.rows if row[1] == "approx cosine"}
         assert approx[64] >= approx[4] - 0.05
         assert approx[64] > 0.5
+
+    def test_sweep_throughput_removes_probe_redundancy(self):
+        result = sweep_throughput(datasets=("orkut-like",), scale="tiny")
+        [row] = result.rows
+        assert row[1] > 10                       # whole grid answered
+        assert row[7] > 1.0                      # batched charges less work

@@ -169,3 +169,62 @@ class TestEquality:
 
     def test_not_equal_to_other_types(self):
         assert from_edge_list([(0, 1)]) != "graph"
+
+
+class TestLocateNeighbors:
+    """The batched adjacency-probe helper behind every scalar probe."""
+
+    def test_matches_scalar_searchsorted(self, paper_graph):
+        us, vs = [], []
+        for u in range(paper_graph.num_vertices):
+            for v in range(paper_graph.num_vertices):
+                if u != v:
+                    us.append(u)
+                    vs.append(v)
+        us, vs = np.array(us), np.array(vs)
+        positions, found = paper_graph.locate_neighbors(us, vs)
+        for u, v, position, hit in zip(
+            us.tolist(), vs.tolist(), positions.tolist(), found.tolist()
+        ):
+            neighbors = paper_graph.neighbors(u)
+            expected = int(np.searchsorted(neighbors, v))
+            assert position - int(paper_graph.indptr[u]) == expected
+            assert hit == paper_graph.has_edge(u, v)
+
+    def test_small_and_large_batches_agree(self, paper_graph):
+        us = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        vs = np.array([1, 0, 5, 9, 10, 2, 7, 6])
+        large_positions, large_found = paper_graph.locate_neighbors(us, vs)
+        for i in range(us.size):
+            position, hit = paper_graph.locate_neighbors(us[i:i + 1], vs[i:i + 1])
+            assert position[0] == large_positions[i]
+            assert hit[0] == large_found[i]
+
+    def test_edge_id_routes_through_helper(self, paper_graph):
+        edge_u, edge_v = paper_graph.edge_list()
+        for edge, (u, v) in enumerate(zip(edge_u.tolist(), edge_v.tolist())):
+            assert paper_graph.edge_id(u, v) == edge
+            assert paper_graph.edge_id(v, u) == edge
+
+
+class TestFromIndexColumns:
+    def test_reconstruction_matches_original(self, paper_graph):
+        rebuilt = Graph.from_index_columns(
+            paper_graph.indptr,
+            paper_graph.indices,
+            None,
+            paper_graph.arc_edge_ids,
+        )
+        assert rebuilt == paper_graph
+        assert np.array_equal(rebuilt.arc_edge_ids, paper_graph.arc_edge_ids)
+        assert np.array_equal(rebuilt.edge_u, paper_graph.edge_u)
+        assert np.array_equal(rebuilt.edge_v, paper_graph.edge_v)
+
+    def test_misaligned_arc_edge_ids_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            Graph.from_index_columns(
+                paper_graph.indptr,
+                paper_graph.indices,
+                None,
+                paper_graph.arc_edge_ids[:-1],
+            )

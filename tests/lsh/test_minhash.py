@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import complete_graph, paper_example_graph
+from repro.graphs import complete_graph, paper_example_graph, planted_partition
 from repro.lsh import (
     EMPTY_BUCKET,
     estimate_jaccard,
@@ -12,8 +12,51 @@ from repro.lsh import (
     k_partition_minhash_sketches,
     minhash_sketches,
 )
+from repro.lsh.minhash import (
+    _k_partition_minhash_sketches_scalar,
+    _minhash_sketches_scalar,
+)
 from repro.parallel import Scheduler
 from repro.similarity import compute_similarities
+
+
+class TestVectorisedAgainstScalar:
+    """Both sketch constructions are pinned to the per-vertex loops."""
+
+    @pytest.mark.parametrize("num_samples", [4, 16, 33])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_standard_matches_scalar(self, paper_graph, num_samples, seed):
+        fast = minhash_sketches(paper_graph, num_samples, seed=seed)
+        slow = _minhash_sketches_scalar(paper_graph, num_samples, seed=seed)
+        assert np.array_equal(fast, slow)
+
+    @pytest.mark.parametrize("num_samples", [4, 16, 33])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_k_partition_matches_scalar(self, paper_graph, num_samples, seed):
+        fast = k_partition_minhash_sketches(paper_graph, num_samples, seed=seed)
+        slow = _k_partition_minhash_sketches_scalar(
+            paper_graph, num_samples, seed=seed
+        )
+        assert np.array_equal(fast, slow)
+
+    def test_matches_scalar_on_vertex_subset(self):
+        graph = planted_partition(3, 20, p_intra=0.4, p_inter=0.05, seed=5)
+        subset = np.array([1, 7, 30, 55])
+        for fast_fn, slow_fn in (
+            (minhash_sketches, _minhash_sketches_scalar),
+            (k_partition_minhash_sketches, _k_partition_minhash_sketches_scalar),
+        ):
+            fast = fast_fn(graph, 16, seed=2, vertices=subset)
+            slow = slow_fn(graph, 16, seed=2, vertices=subset)
+            assert np.array_equal(fast, slow)
+
+    def test_estimates_pinned_within_tolerance(self, paper_graph):
+        fast = k_partition_minhash_sketches(paper_graph, 64, seed=9)
+        slow = _k_partition_minhash_sketches_scalar(paper_graph, 64, seed=9)
+        edge_u, edge_v = paper_graph.edge_list()
+        a = estimate_jaccard_batch(fast, edge_u, edge_v)
+        b = estimate_jaccard_batch(slow, edge_u, edge_v)
+        assert float(np.abs(a - b).max()) < 1e-9
 
 
 class TestStandardMinHash:

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.graphs import complete_graph, paper_example_graph
+from repro.graphs import complete_graph, paper_example_graph, planted_partition
 from repro.lsh import (
     box_muller,
     estimate_angle,
@@ -14,6 +14,7 @@ from repro.lsh import (
     gaussian_projections,
     simhash_sketches,
 )
+from repro.lsh.simhash import _simhash_sketches_scalar
 from repro.parallel import Scheduler
 from repro.similarity import compute_similarities
 
@@ -64,6 +65,37 @@ class TestSketches:
         simhash_sketches(paper_graph, 8, scheduler=small)
         simhash_sketches(paper_graph, 64, scheduler=large)
         assert large.counter.work > 4 * small.counter.work
+
+
+class TestVectorisedAgainstScalar:
+    """The degree-bucketed construction is pinned to the per-vertex loop."""
+
+    @pytest.mark.parametrize("num_samples", [4, 16, 33])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_matches_scalar_path(self, paper_graph, num_samples, seed):
+        fast = simhash_sketches(paper_graph, num_samples, seed=seed)
+        slow = _simhash_sketches_scalar(paper_graph, num_samples, seed=seed)
+        assert np.array_equal(fast, slow)
+
+    def test_matches_scalar_on_community_graph(self, weighted_graph):
+        fast = simhash_sketches(weighted_graph, 16, seed=3)
+        slow = _simhash_sketches_scalar(weighted_graph, 16, seed=3)
+        assert np.array_equal(fast, slow)
+
+    def test_matches_scalar_on_vertex_subset(self):
+        graph = planted_partition(3, 20, p_intra=0.4, p_inter=0.05, seed=2)
+        subset = np.array([0, 5, 17, 40])
+        fast = simhash_sketches(graph, 16, seed=1, vertices=subset)
+        slow = _simhash_sketches_scalar(graph, 16, seed=1, vertices=subset)
+        assert np.array_equal(fast, slow)
+
+    def test_estimates_pinned_within_tolerance(self, paper_graph):
+        fast = simhash_sketches(paper_graph, 64, seed=5)
+        slow = _simhash_sketches_scalar(paper_graph, 64, seed=5)
+        edge_u, edge_v = paper_graph.edge_list()
+        a = estimate_cosine_batch(fast, edge_u, edge_v)
+        b = estimate_cosine_batch(slow, edge_u, edge_v)
+        assert float(np.abs(a - b).max()) < 1e-9
 
 
 class TestEstimates:

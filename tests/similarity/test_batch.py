@@ -128,3 +128,38 @@ class TestSubsetNumerators:
             community_graph, np.zeros(0, dtype=np.int64), Scheduler()
         )
         assert result.shape == (0,)
+
+
+class TestProbeStrategies:
+    """Both membership-probe strategies must agree exactly (see module doc)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bounded_and_global_probes_agree(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        graph = random_graph(rng, 35, 0.25, weighted=bool(seed % 2))
+        bounded = batch_numerators(graph, Scheduler(), probe="bounded")
+        global_probe = batch_numerators(graph, Scheduler(), probe="global")
+        np.testing.assert_array_equal(bounded, global_probe)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_subset_probes_agree(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        graph = random_graph(rng, 30, 0.3, weighted=False)
+        subset = rng.choice(graph.num_edges, size=graph.num_edges // 2, replace=False)
+        bounded = edge_numerators_for_subset(graph, subset, Scheduler(), probe="bounded")
+        global_probe = edge_numerators_for_subset(
+            graph, subset, Scheduler(), probe="global"
+        )
+        np.testing.assert_array_equal(bounded, global_probe)
+
+    def test_unknown_probe_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            batch_numerators(triangle_graph, Scheduler(), probe="psychic")
+
+    def test_auto_resolves_by_segment_length(self):
+        from repro.similarity.batch import resolve_probe
+
+        assert resolve_probe("auto", 2) == "bounded"
+        assert resolve_probe("auto", 1000) == "global"
+        assert resolve_probe("bounded", 1000) == "bounded"
+        assert resolve_probe("global", 2) == "global"

@@ -1,0 +1,203 @@
+"""Tests for the columnar index artifact: round-trips and error paths."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ApproximationConfig, ArtifactFormatError, IndexArtifact, ScanIndex
+from repro.graphs import from_edge_list, paper_example_graph, planted_partition
+from repro.storage.format import COLUMNS_FILE, FORMAT_VERSION, HEADER_FILE
+
+
+def random_parameter_grid(rng, max_mu, count=20):
+    """A randomized (mu, epsilon) grid with repeated epsilons."""
+    mus = rng.integers(2, max_mu + 2, size=count)
+    epsilons = rng.choice(np.round(np.linspace(0.05, 0.95, 10), 4), size=count)
+    return [(int(mu), float(eps)) for mu, eps in zip(mus, epsilons)]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_columns_byte_identical_after_round_trip(self, tmp_path, seed):
+        graph = planted_partition(4, 20, p_intra=0.4, p_inter=0.03, seed=seed)
+        index = ScanIndex.build(graph)
+        original = IndexArtifact.from_index(index)
+        original.save(tmp_path / "a")
+        loaded = IndexArtifact.load(tmp_path / "a")
+        assert set(loaded.columns) == set(original.columns)
+        for name, column in original.columns.items():
+            stored = np.asarray(loaded.columns[name])
+            assert stored.dtype == column.dtype, name
+            assert stored.tobytes() == column.tobytes(), name
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_identical_clusterings_on_random_grid(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        graph = planted_partition(5, 18, p_intra=0.45, p_inter=0.02, seed=seed)
+        index = ScanIndex.build(graph)
+        index.save(tmp_path / "a")
+        loaded = ScanIndex.load(tmp_path / "a")
+        for mu, epsilon in random_parameter_grid(rng, graph.max_degree + 1):
+            ours = index.query(mu, epsilon, deterministic_borders=True)
+            theirs = loaded.query(mu, epsilon, deterministic_borders=True)
+            assert np.array_equal(ours.labels, theirs.labels)
+            assert np.array_equal(ours.core_mask, theirs.core_mask)
+
+    def test_weighted_graph_round_trip(self, tmp_path, weighted_graph):
+        index = ScanIndex.build(weighted_graph)
+        index.save(tmp_path / "w")
+        loaded = ScanIndex.load(tmp_path / "w")
+        assert loaded.graph.is_weighted
+        assert np.allclose(loaded.graph.arc_weights, weighted_graph.arc_weights)
+        a = index.query(2, 0.3, deterministic_borders=True)
+        b = loaded.query(2, 0.3, deterministic_borders=True)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_approximate_index_round_trip(self, tmp_path, community_graph):
+        index = ScanIndex.build(
+            community_graph,
+            approximate=ApproximationConfig(num_samples=32, degree_threshold=4),
+        )
+        index.save(tmp_path / "approx")
+        loaded = ScanIndex.load(tmp_path / "approx")
+        assert loaded.measure == "approx_cosine"
+        assert loaded.similarities.backend == "lsh"
+        a = index.query(3, 0.5, deterministic_borders=True)
+        b = loaded.query(3, 0.5, deterministic_borders=True)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_metadata_preserved(self, tmp_path, paper_graph):
+        index = ScanIndex.build(paper_graph, measure="jaccard", backend="hash")
+        index.save(tmp_path / "meta")
+        loaded = ScanIndex.load(tmp_path / "meta")
+        assert loaded.measure == "jaccard"
+        assert loaded.similarities.backend == "hash"
+        assert loaded.construction_report.work == index.construction_report.work
+        assert loaded.construction_report.span == index.construction_report.span
+
+    def test_columns_are_memory_mapped(self, tmp_path, paper_graph):
+        ScanIndex.build(paper_graph).save(tmp_path / "m")
+        loaded = ScanIndex.load(tmp_path / "m")
+        assert isinstance(loaded.neighbor_order.neighbors, np.memmap)
+        assert isinstance(loaded.core_order.thresholds, np.memmap)
+
+    def test_load_without_mmap(self, tmp_path, paper_graph):
+        index = ScanIndex.build(paper_graph)
+        index.save(tmp_path / "nm")
+        loaded = ScanIndex.load(tmp_path / "nm", mmap_mode=None)
+        assert not isinstance(loaded.neighbor_order.neighbors, np.memmap)
+        a = loaded.query(3, 0.6)
+        assert a.num_clusters == 2
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        index = ScanIndex.build(from_edge_list([], num_vertices=4))
+        index.save(tmp_path / "e")
+        loaded = ScanIndex.load(tmp_path / "e")
+        assert loaded.graph.num_vertices == 4
+        assert loaded.query(2, 0.5).num_clusters == 0
+
+
+class TestNoRecomputationOnLoad:
+    def test_load_path_never_computes_similarities_or_sorts(
+        self, tmp_path, paper_graph, monkeypatch
+    ):
+        index = ScanIndex.build(paper_graph)
+        index.save(tmp_path / "a")
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("load path must not recompute this")
+
+        monkeypatch.setattr("repro.similarity.exact.compute_similarities", forbidden)
+        monkeypatch.setattr(
+            "repro.core.neighbor_order.build_neighbor_order", forbidden
+        )
+        monkeypatch.setattr("repro.core.core_order.build_core_order", forbidden)
+        monkeypatch.setattr("repro.parallel.sorting.segmented_sort_by_key", forbidden)
+        loaded = ScanIndex.load(tmp_path / "a")
+        clustering = loaded.query(3, 0.6, deterministic_borders=True)
+        assert clustering.num_clusters == 2
+        batched = loaded.query_many([(3, 0.6), (2, 0.5)])
+        assert batched[0].num_clusters == 2
+
+
+class TestErrorPaths:
+    @pytest.fixture
+    def saved(self, tmp_path, paper_graph):
+        path = tmp_path / "artifact"
+        ScanIndex.build(paper_graph).save(path)
+        return path
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactFormatError, match="not an index artifact"):
+            ScanIndex.load(tmp_path / "nope")
+
+    def test_corrupt_header_json(self, saved):
+        (saved / HEADER_FILE).write_text("{not json")
+        with pytest.raises(ArtifactFormatError, match="corrupt header"):
+            ScanIndex.load(saved)
+
+    def test_version_mismatch(self, saved):
+        header = json.loads((saved / HEADER_FILE).read_text())
+        header["version"] = FORMAT_VERSION + 1
+        (saved / HEADER_FILE).write_text(json.dumps(header))
+        with pytest.raises(ArtifactFormatError, match="version"):
+            ScanIndex.load(saved)
+
+    def test_wrong_format_name(self, saved):
+        header = json.loads((saved / HEADER_FILE).read_text())
+        header["format"] = "something-else"
+        (saved / HEADER_FILE).write_text(json.dumps(header))
+        with pytest.raises(ArtifactFormatError, match="unrecognised artifact format"):
+            ScanIndex.load(saved)
+
+    def test_missing_required_field(self, saved):
+        header = json.loads((saved / HEADER_FILE).read_text())
+        del header["measure"]
+        (saved / HEADER_FILE).write_text(json.dumps(header))
+        with pytest.raises(ArtifactFormatError, match="missing required field"):
+            ScanIndex.load(saved)
+
+    def test_missing_columns_file(self, saved):
+        (saved / COLUMNS_FILE).unlink()
+        with pytest.raises(ArtifactFormatError, match="not an index artifact"):
+            ScanIndex.load(saved)
+
+    def test_corrupt_columns_archive(self, saved):
+        (saved / COLUMNS_FILE).write_bytes(b"garbage, not a zip")
+        with pytest.raises(ArtifactFormatError, match="corrupt column archive"):
+            ScanIndex.load(saved)
+
+    def test_header_column_length_mismatch(self, saved):
+        header = json.loads((saved / HEADER_FILE).read_text())
+        header["columns"]["no_neighbors"]["length"] += 1
+        (saved / HEADER_FILE).write_text(json.dumps(header))
+        with pytest.raises(ArtifactFormatError, match="length"):
+            ScanIndex.load(saved)
+
+    def test_graph_shape_mismatch(self, saved):
+        header = json.loads((saved / HEADER_FILE).read_text())
+        header["num_edges"] += 1
+        (saved / HEADER_FILE).write_text(json.dumps(header))
+        with pytest.raises(ArtifactFormatError):
+            ScanIndex.load(saved)
+
+    def test_unknown_stored_column(self, saved):
+        import io
+        import zipfile
+
+        buffer = io.BytesIO()
+        np.lib.format.write_array(buffer, np.arange(3, dtype=np.int64))
+        with zipfile.ZipFile(saved / COLUMNS_FILE, "a") as archive:
+            archive.writestr("foreign.npy", buffer.getvalue())
+        with pytest.raises(ArtifactFormatError, match="unknown column"):
+            ScanIndex.load(saved)
+
+    def test_resave_over_existing_artifact(self, saved, community_graph):
+        # A later index can re-save over the same path; the swap is staged so
+        # the directory is never a mix of old header and new columns.
+        other = ScanIndex.build(community_graph, measure="jaccard")
+        other.save(saved)
+        loaded = ScanIndex.load(saved)
+        assert loaded.measure == "jaccard"
+        assert loaded.graph.num_vertices == community_graph.num_vertices
