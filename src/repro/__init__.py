@@ -41,15 +41,18 @@ graphs.
 from .core.clustering import UNCLUSTERED, Clustering
 from .core.index import ScanIndex
 from .lsh.approximate import ApproximationConfig, compute_approximate_similarities
+from .serve import ClusterSession, ServedResult
 from .similarity.exact import EdgeSimilarities, compute_similarities
 from .storage import ArtifactFormatError, IndexArtifact
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "UNCLUSTERED",
     "Clustering",
+    "ClusterSession",
     "ScanIndex",
+    "ServedResult",
     "ApproximationConfig",
     "ArtifactFormatError",
     "EdgeSimilarities",

@@ -20,6 +20,14 @@ re-sorting the orders::
     python -m repro cluster edges.txt --mu 5 --epsilon 0.6 --save my.scanidx
     python -m repro cluster --load my.scanidx --mu 8 --epsilon 0.7
 
+The ``serve`` subcommand keeps one :class:`~repro.serve.session.
+ClusterSession` alive over a saved artifact and answers newline-delimited
+``MU:EPSILON`` requests from stdin or a file -- repeats hit the ε-snapped
+result cache, misses run on recycled buffers::
+
+    printf '5:0.6\n5:0.7\n5:0.6\n' | python -m repro serve my.scanidx
+    python -m repro serve my.scanidx --requests workload.txt --deterministic
+
 The ``run`` subcommand prints the same rows the benchmark suite produces, so
 a single figure can be reproduced without going through pytest.
 """
@@ -28,7 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Sequence, TextIO
 
 from .bench.datasets import DATASETS, SCALES, dataset_summaries
 from .bench.experiments import ALL_EXPERIMENTS
@@ -37,6 +45,21 @@ from .core.index import ScanIndex
 from .graphs.io import read_edge_list
 from .lsh.approximate import ApproximationConfig
 from .similarity.exact import BACKENDS
+from .storage.format import ArtifactFormatError
+
+
+def _load_artifact(path: str) -> ScanIndex | None:
+    """Load an index artifact, turning format errors into a clean message.
+
+    A missing, truncated, or version-mismatched artifact is an operator
+    mistake, not a bug -- report it on stderr (no traceback) and let the
+    command exit with status 2.
+    """
+    try:
+        return ScanIndex.load(path)
+    except (ArtifactFormatError, OSError) as error:
+        print(f"error: cannot load index artifact {path!r}: {error}", file=sys.stderr)
+        return None
 
 
 def _command_datasets(args: argparse.Namespace) -> int:
@@ -100,7 +123,9 @@ def _command_cluster(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        index = ScanIndex.load(args.load)
+        index = _load_artifact(args.load)
+        if index is None:
+            return 2
         graph = index.graph
     elif args.graph is not None:
         graph = read_edge_list(args.graph)
@@ -167,7 +192,9 @@ def _parse_pairs(tokens: Sequence[str]) -> list[tuple[int, float]]:
 
 
 def _command_index_query(args: argparse.Namespace) -> int:
-    index = ScanIndex.load(args.artifact)
+    index = _load_artifact(args.artifact)
+    if index is None:
+        return 2
     print(f"loaded {index.measure} index: {index.graph.num_vertices} vertices, "
           f"{index.graph.num_edges} edges")
     if args.pairs:
@@ -181,6 +208,72 @@ def _command_index_query(args: argparse.Namespace) -> int:
     ]
     print(format_table(["mu", "epsilon", "clusters", "clustered vertices"], rows))
     return 0
+
+
+def _parse_request(line: str) -> tuple[int, float]:
+    """Parse one serve request line (``MU:EPSILON`` or ``MU EPSILON``)."""
+    token = line.replace(":", " ").split()
+    if len(token) != 2:
+        raise ValueError(f"expected MU:EPSILON, got {line.strip()!r}")
+    return int(token[0]), float(token[1])
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    index = _load_artifact(args.artifact)
+    if index is None:
+        return 2
+    session = index.session(cache_size=args.cache_size)
+    capacity = args.cache_size if args.cache_size > 0 else "disabled"
+    print(
+        f"serving {index.measure} index: {index.graph.num_vertices} vertices, "
+        f"{index.graph.num_edges} edges, cache capacity {capacity}",
+        file=sys.stderr,
+    )
+    if args.requests is not None:
+        try:
+            stream: TextIO = open(args.requests)
+        except OSError as error:
+            print(f"error: cannot read requests from {args.requests!r}: {error}",
+                  file=sys.stderr)
+            return 2
+    else:
+        stream = sys.stdin
+    failures = 0
+    try:
+        for line in stream:
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            try:
+                mu, epsilon = _parse_request(line)
+                result = session.serve(
+                    mu, epsilon, deterministic_borders=args.deterministic
+                )
+            except ValueError as error:
+                failures += 1
+                print(f"error: {error}", file=sys.stderr)
+                continue
+            snapped = result.snapped_epsilon
+            # flush per response: an interactive client driving the loop over
+            # a pipe waits for each answer before sending the next request.
+            print(
+                f"mu={result.mu} epsilon={result.epsilon:g} "
+                f"snapped={'none' if snapped == float('inf') else format(snapped, '.6g')} "
+                f"clusters={result.num_clusters} "
+                f"clustered={result.num_clustered_vertices} "
+                f"cores={result.num_cores} "
+                f"cache={'hit' if result.from_cache else 'miss'}",
+                flush=True,
+            )
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    stats = session.stats()
+    print(
+        f"served {stats['served']} requests: {stats['cache_hits']} cache hits "
+        f"({stats['hit_rate']:.0%})",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,6 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="batch of settings answered by one planned sweep, "
                                   "e.g. --pairs 3:0.4 5:0.6 5:0.7")
     index_query.set_defaults(handler=_command_index_query)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer a stream of (mu, epsilon) requests from a saved artifact",
+    )
+    serve.add_argument("artifact", help="artifact directory written by 'index build'")
+    serve.add_argument("--requests", metavar="FILE", default=None,
+                       help="newline-delimited MU:EPSILON requests "
+                            "(default: read from stdin)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache capacity; zero or negative disables "
+                            "caching (default: 256)")
+    serve.add_argument("--deterministic", action="store_true",
+                       help="deterministic border attachment "
+                            "(most similar core, ties to lower id)")
+    serve.set_defaults(handler=_command_serve)
 
     return parser
 

@@ -31,6 +31,15 @@ executed once::
     index.save("orkut.scanidx")
     index = ScanIndex.load("orkut.scanidx")
     clusterings = index.query_many([(5, 0.6), (5, 0.7), (8, 0.6)])
+
+For long-lived serving -- many queries against one loaded index, often with
+repeats -- open a :meth:`ScanIndex.session`, which recycles query scratch
+across calls and caches results under ε-snapped keys (see
+:mod:`repro.serve`)::
+
+    session = index.session()
+    result = session.serve(5, 0.6)       # compact answer, cached
+    clustering = session.query(5, 0.6)   # dense Clustering, cache hit
 """
 
 from __future__ import annotations
@@ -234,6 +243,23 @@ class ScanIndex:
         shared batches, so a 50-point parameter sweep costs far less than 50
         :meth:`query` calls.  Results arrive in input order and are identical
         to per-pair :meth:`query` calls with the same options.
+
+        Parameters
+        ----------
+        pairs:
+            Iterable of ``(mu, epsilon)`` settings; duplicates are allowed
+            and answered independently.  Every ``mu`` must be at least 2 and
+            every ``epsilon`` in ``[0, 1]``.
+        scheduler:
+            Externally owned scheduler for work-span accounting; a fresh one
+            is created when omitted.
+        deterministic_borders:
+            Attach each border vertex to its most similar core neighbor
+            (ties to the lower vertex id) instead of the traversal-order
+            first writer; makes repeated sweeps bit-for-bit reproducible.
+        classify_hubs_and_outliers:
+            Additionally label every unclustered vertex of every result as
+            hub or outlier (Section 4.3).
         """
         from .sweep_query import query_many as _query_many
 
@@ -252,6 +278,32 @@ class ScanIndex:
         return clusterings
 
     # ------------------------------------------------------------------
+    # Serving (the serve/ subsystem seam)
+    # ------------------------------------------------------------------
+    def session(self, *, cache_size: int = 256, cache=None):
+        """Open a persistent :class:`~repro.serve.session.ClusterSession`.
+
+        The session owns recycled query buffers (allocated once at index
+        size) and a bounded LRU result cache keyed by ε-snapped parameters,
+        so a stream of queries -- especially one with repeats -- is served
+        with O(result) steady-state allocation and bit-identical answers.
+
+        Parameters
+        ----------
+        cache_size:
+            Capacity of the session-owned result cache; zero or negative
+            disables caching (buffer recycling still applies).
+        cache:
+            Share an existing :class:`~repro.serve.cache.ResultCache`
+            between sessions instead; sessions over this same index share
+            a cache generation (and so each other's entries), while any
+            other index binds its own, so entries can never cross indexes.
+        """
+        from ..serve.session import ClusterSession
+
+        return ClusterSession(self, cache_size=cache_size, cache=cache)
+
+    # ------------------------------------------------------------------
     # Persistence (the storage/ subsystem seam)
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
@@ -259,6 +311,15 @@ class ScanIndex:
 
         See :mod:`repro.storage.format` for the on-disk layout (uncompressed
         ``.npz`` columns plus a JSON header).
+
+        Parameters
+        ----------
+        path:
+            Target artifact *directory*.  The write is staged in a scratch
+            sibling and swapped in atomically, so an interrupted save leaves
+            either the previous artifact or nothing -- never a torn mix.
+
+        Returns the path written, for chaining into :meth:`load`.
         """
         from ..storage.artifact import save_index
 
@@ -270,8 +331,22 @@ class ScanIndex:
 
         The load path performs no similarity computation and no sorting: the
         graph, the per-edge scores and both orders come straight from the
-        stored columns.  ``mmap_mode=None`` reads everything into memory
-        instead of mapping it.
+        stored columns.
+
+        Parameters
+        ----------
+        path:
+            Artifact directory written by :meth:`save`.
+        mmap_mode:
+            ``"r"`` (default) memory-maps every column read-only straight
+            out of the uncompressed ``.npz``, so no column data is touched
+            until a query reads it; ``None`` reads everything into memory
+            up front (use when the artifact lives on storage slower than
+            page-fault latency tolerates).
+
+        Raises :class:`~repro.storage.format.ArtifactFormatError` when the
+        path is missing, not an artifact, corrupt, or of an unsupported
+        format version.
         """
         from ..storage.artifact import load_index
 

@@ -31,6 +31,42 @@ from .clustering import UNCLUSTERED, Clustering
 from .doubling import prefix_lengths_at_least
 
 
+class QueryBuffers:
+    """Reusable per-index scratch buffers for repeated queries.
+
+    A cold :func:`cluster` call pays O(n) per query just to allocate scratch:
+    a fresh union-find forest (``arange(n)``), the core-membership mask, and
+    -- on the sweep path -- the rank/member arrays used to restore traversal
+    order.  For interactive serving those allocations dominate small-output
+    queries, so :class:`QueryBuffers` allocates them *once* at index size and
+    the query paths recycle them, restoring every touched entry before the
+    next query (O(result) cleanup, see :meth:`UnionFind.reset_batch
+    <repro.parallel.unionfind.UnionFind.reset_batch>`).
+
+    Invariant between queries: ``forest`` is the identity forest, ``labels``
+    is all :data:`UNCLUSTERED`, and the ``member`` mask is all False.
+    ``rank`` carries no invariant -- its readers only read entries they have
+    just written.  Pass an instance to :func:`cluster`,
+    :func:`repro.core.sweep_query.query_many`, or hold one inside a
+    :class:`repro.serve.ClusterSession`, always against the same index.
+    """
+
+    def __init__(self, num_vertices: int) -> None:
+        self.num_vertices = int(num_vertices)
+        self.forest = UnionFind(self.num_vertices)
+        self.labels = np.full(self.num_vertices, UNCLUSTERED, dtype=np.int64)
+        self.member = np.zeros(self.num_vertices, dtype=bool)
+        self.rank = np.zeros(self.num_vertices, dtype=np.int64)
+
+    def check_size(self, num_vertices: int) -> None:
+        """Raise when the buffers were sized for a different graph."""
+        if int(num_vertices) != self.num_vertices:
+            raise ValueError(
+                f"QueryBuffers sized for {self.num_vertices} vertices used "
+                f"with a graph of {num_vertices}"
+            )
+
+
 def get_cores(
     core_order,
     mu: int,
@@ -96,6 +132,7 @@ def cluster_from_arcs(
     *,
     scheduler: Scheduler,
     deterministic_borders: bool = False,
+    buffers: QueryBuffers | None = None,
 ) -> Clustering:
     """Clustering from precomputed cores and their ε-similar arcs.
 
@@ -107,6 +144,12 @@ def cluster_from_arcs(
     single-query path produces (cores in ``CO[μ]``-prefix order, each core's
     arcs in neighbor-order) so that the first-writer border rule matches
     bit for bit.
+
+    When ``buffers`` is given its recycled union-find forest replaces the
+    fresh O(n) one; every touched forest entry is restored before returning,
+    so repeated calls against the same buffers stay O(result) in scratch
+    cost.  The returned :class:`Clustering` always owns freshly allocated
+    label/mask arrays -- buffer reuse never aliases results.
     """
     n = graph.num_vertices
     labels = np.full(n, UNCLUSTERED, dtype=np.int64)
@@ -117,9 +160,22 @@ def cluster_from_arcs(
 
     # Connectivity over the ε-similar core-core edges (union-find, Section 6.2).
     core_to_core = core_mask[arc_targets]
-    forest = UnionFind(n)
-    forest.union_batch(scheduler, arc_sources[core_to_core], arc_targets[core_to_core])
-    labels[cores] = forest.find_batch(scheduler, cores)
+    cc_sources = arc_sources[core_to_core]
+    cc_targets = arc_targets[core_to_core]
+    if buffers is not None:
+        buffers.check_size(n)
+        forest = buffers.forest
+        try:
+            forest.union_batch(scheduler, cc_sources, cc_targets)
+            labels[cores] = forest.find_batch(scheduler, cores)
+        finally:
+            # Restore even when the query dies mid-flight: a dirty recycled
+            # forest would silently over-merge every later query.
+            forest.reset_batch(cc_sources, cc_targets, cores)
+    else:
+        forest = UnionFind(n)
+        forest.union_batch(scheduler, cc_sources, cc_targets)
+        labels[cores] = forest.find_batch(scheduler, cores)
 
     # Border vertices: non-core endpoints of ε-similar edges out of cores.
     border_arcs = ~core_to_core
@@ -132,6 +188,38 @@ def cluster_from_arcs(
         deterministic=deterministic_borders,
     )
     return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
+
+
+def resolve_border_assignments(
+    border_sources: np.ndarray,
+    border_targets: np.ndarray,
+    border_similarities: np.ndarray,
+    *,
+    deterministic: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pick the winning core arc for every border vertex (Algorithm 4).
+
+    ``border_*`` list the ε-similar core -> non-core arcs in traversal order.
+    Returns ``(border_vertices, winners)`` where ``winners[i]`` indexes the
+    arc whose source cluster ``border_vertices[i]`` joins, i.e. the
+    assignment is ``labels[border_vertices] = labels[border_sources[winners]]``.
+    Shared by :func:`attach_borders` (which applies it to a dense label
+    array) and the compact serving path of :mod:`repro.serve.session` (which
+    never materialises dense labels).
+    """
+    if deterministic:
+        # Most similar neighboring core wins; ties go to the lower core id.
+        order = np.lexsort((border_sources, -border_similarities))
+    else:
+        # Arbitrary assignment: the paper uses a compare-and-swap, which
+        # keeps the first writer; we mirror that by keeping the first arc
+        # in traversal order.
+        order = np.arange(border_targets.shape[0])
+    # First occurrence of every border vertex in priority order, found
+    # with one sort-based pass instead of a per-arc Python loop
+    # (np.unique returns the index of the first occurrence).
+    border_vertices, winner = np.unique(border_targets[order], return_index=True)
+    return border_vertices, order[winner]
 
 
 def attach_borders(
@@ -154,19 +242,13 @@ def attach_borders(
     )
     if not border_targets.size:
         return
-    if deterministic:
-        # Most similar neighboring core wins; ties go to the lower core id.
-        order = np.lexsort((border_sources, -border_similarities))
-    else:
-        # Arbitrary assignment: the paper uses a compare-and-swap, which
-        # keeps the first writer; we mirror that by keeping the first arc
-        # in traversal order.
-        order = np.arange(border_targets.shape[0])
-    # First occurrence of every border vertex in priority order, found
-    # with one sort-based pass instead of a per-arc Python loop
-    # (np.unique returns the index of the first occurrence).
-    border_vertices, winner = np.unique(border_targets[order], return_index=True)
-    labels[border_vertices] = labels[border_sources[order[winner]]]
+    border_vertices, winners = resolve_border_assignments(
+        border_sources,
+        border_targets,
+        border_similarities,
+        deterministic=deterministic,
+    )
+    labels[border_vertices] = labels[border_sources[winners]]
 
 
 def cluster(
@@ -178,8 +260,14 @@ def cluster(
     *,
     scheduler: Scheduler | None = None,
     deterministic_borders: bool = False,
+    buffers: QueryBuffers | None = None,
 ) -> Clustering:
-    """SCAN clustering for ``(mu, epsilon)`` from the index (Algorithm 5)."""
+    """SCAN clustering for ``(mu, epsilon)`` from the index (Algorithm 5).
+
+    ``buffers`` (optional) recycles a :class:`QueryBuffers` union-find forest
+    across calls instead of allocating a fresh O(n) forest per query; results
+    are bit-identical either way.
+    """
     scheduler = scheduler if scheduler is not None else Scheduler()
     cores = get_cores(core_order, mu, epsilon, scheduler=scheduler)
     if cores.size == 0:
@@ -202,4 +290,5 @@ def cluster(
         epsilon,
         scheduler=scheduler,
         deterministic_borders=deterministic_borders,
+        buffers=buffers,
     )

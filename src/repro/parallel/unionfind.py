@@ -132,6 +132,32 @@ class UnionFind:
             parent[demoted] = lower[split]
             self._num_components -= int(np.unique(demoted).size)
 
+    def reset_batch(self, *vertex_arrays: np.ndarray) -> None:
+        """Restore the given entries to singleton state in O(batch) time.
+
+        The label-recycling serving loop (:mod:`repro.serve`) keeps one forest
+        alive across queries instead of paying the O(n) ``arange`` of a fresh
+        :class:`UnionFind` per query.  Between queries the forest must be back
+        at the identity, which this method restores by writing
+        ``parent[v] = v`` (and zeroing the rank) for every passed vertex.
+
+        Contract: the caller must pass a *superset* of every entry written
+        since construction or the previous reset.  Batch operations only ever
+        write at the vertices they are handed -- :meth:`union_batch` hooks and
+        compresses at the edge endpoints (every intermediate root reached is
+        itself an endpoint, because chains grow only from batch writes), and
+        :meth:`find_batch` compresses at the queried vertices -- so the union
+        of all batch arguments since the last reset is always a sufficient
+        superset.  Resetting an untouched vertex is a harmless no-op.
+        """
+        parent = self._parent
+        rank = self._rank
+        for vertices in vertex_arrays:
+            vertices = np.asarray(vertices, dtype=np.int64)
+            parent[vertices] = vertices
+            rank[vertices] = 0
+        self._num_components = len(self)
+
     def find_batch(self, scheduler: Scheduler, vertices: np.ndarray) -> np.ndarray:
         """Representatives of each vertex in ``vertices`` as an array.
 

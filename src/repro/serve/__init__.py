@@ -1,0 +1,30 @@
+"""The query-serving subsystem: persistent sessions over a loaded index.
+
+``repro.serve`` turns a loaded :class:`~repro.core.index.ScanIndex` into a
+long-lived serving loop.  Its three pieces compose one pipeline per request:
+
+1. :class:`~repro.serve.snapping.EpsilonSnapper` canonicalizes the query's
+   float ε to the stored similarity-rank boundary it resolves to;
+2. :class:`~repro.serve.cache.ResultCache` -- a bounded, generation-checked
+   LRU keyed by ``(μ, snapped-ε, border-mode)`` -- answers repeats without
+   touching the index;
+3. on a miss, :class:`~repro.serve.session.ClusterSession` computes the
+   clustering on recycled O(n)-once buffers and caches the compact result.
+
+Entry points: :meth:`ScanIndex.session() <repro.core.index.ScanIndex.
+session>` in code, ``python -m repro serve ARTIFACT`` on the command line,
+and ``benchmarks/bench_serving.py`` for the steady-state numbers
+(``BENCH_serving.json``).
+"""
+
+from .cache import ResultCache
+from .session import ClusterSession, CompactLabels, ServedResult
+from .snapping import EpsilonSnapper
+
+__all__ = [
+    "ClusterSession",
+    "CompactLabels",
+    "EpsilonSnapper",
+    "ResultCache",
+    "ServedResult",
+]

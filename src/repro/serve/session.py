@@ -1,0 +1,466 @@
+"""The label-recycling query serving loop: :class:`ClusterSession`.
+
+A :class:`~repro.core.index.ScanIndex` answers any ``(μ, ε)`` query cheaply,
+but the cold :meth:`~repro.core.index.ScanIndex.query` path still pays O(n)
+per call -- a dense label array, a dense core mask and a fresh union-find
+forest are allocated and initialised for every query regardless of how small
+the answer is.  A :class:`ClusterSession` is the persistent per-process
+serving loop that removes that tax:
+
+* **Recycled buffers.**  The session owns one
+  :class:`~repro.core.query.QueryBuffers` -- union-find forest, label
+  scratch, membership masks -- allocated once at index size.  Each served
+  query uses them and restores every touched entry before returning
+  (:meth:`~repro.parallel.unionfind.UnionFind.reset_batch`), so steady-state
+  queries allocate O(result), not O(n).
+* **ε-snapping.**  Thresholds are canonicalized by an
+  :class:`~repro.serve.snapping.EpsilonSnapper` before cache lookup, so any
+  two ε values that select identical similarity prefixes share one cache
+  entry.
+* **Result caching.**  A bounded LRU (:class:`~repro.serve.cache.
+  ResultCache`) keyed by ``(generation, μ, ε-rank, border-mode)`` holds
+  compact label payloads; repeats of a hot ``(μ, ε)`` are answered without
+  touching the index at all.
+
+Results come back as :class:`ServedResult` -- a *compact* clustering listing
+only the clustered vertices and their labels -- and materialise to a dense
+:class:`~repro.core.clustering.Clustering` on demand
+(:meth:`ServedResult.to_clustering`).  Served answers, cached or not, are
+bit-identical to cold :meth:`ScanIndex.query
+<repro.core.index.ScanIndex.query>` calls in both border modes; the
+property tests in ``tests/serve/`` enforce this over randomized query
+streams.  The session is deliberately the narrow seam -- one index, one
+buffer set, sequential serves -- that a future sharded or async front end
+would hold one of per worker.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..core.clustering import UNCLUSTERED, Clustering
+from ..core.query import (
+    QueryBuffers,
+    _epsilon_similar_arcs,
+    get_cores,
+    resolve_border_assignments,
+)
+from ..parallel.metrics import ceil_log2
+from ..parallel.scheduler import Scheduler
+from .cache import ResultCache
+from .snapping import EpsilonSnapper
+
+__all__ = ["ClusterSession", "CompactLabels", "ServedResult"]
+
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
+
+
+def _shared_snapper(index) -> EpsilonSnapper:
+    """The index's memoized :class:`EpsilonSnapper` (built on first use).
+
+    Building a snapper reads and sorts the similarity columns once
+    (O(m log m)); memoizing it on the index means every session opened over
+    one loaded artifact in a process shares that single pass.
+    """
+    snapper = getattr(index, "_epsilon_snapper", None)
+    if snapper is None:
+        snapper = EpsilonSnapper(index.neighbor_order, index.core_order)
+        index._epsilon_snapper = snapper
+    return snapper
+
+
+def _bind_generation(index, cache: ResultCache) -> int:
+    """Generation token for serving ``index`` through ``cache``.
+
+    Sessions over the *same index object* and the same cache share one
+    token -- and therefore share cache entries -- while any other index
+    bound to the cache gets a token of its own, so entries can never cross
+    indexes.  The registry lives on the index and holds the cache weakly:
+    it dies with either side, and because tokens are never reused a
+    recycled cache id cannot resurrect an old binding.
+    """
+    registry = getattr(index, "_serve_generations", None)
+    if registry is None:
+        registry = weakref.WeakKeyDictionary()
+        index._serve_generations = registry
+    token = registry.get(cache)
+    if token is None:
+        token = cache.new_generation()
+        registry[cache] = token
+    return token
+
+
+@dataclass(frozen=True)
+class CompactLabels:
+    """The cacheable core of a served clustering: clustered vertices only.
+
+    ``vertices`` lists the clustered vertex ids -- the cores first
+    (``vertices[:num_cores]``), then the borders -- and ``labels`` the
+    cluster id of each, aligned.  Arrays are frozen (numpy read-only flag)
+    before entering the cache so a shared payload can never be mutated by
+    one reader under another.
+    """
+
+    vertices: np.ndarray
+    labels: np.ndarray
+    num_cores: int
+    num_clusters: int
+
+    @classmethod
+    def freeze(
+        cls, vertices: np.ndarray, labels: np.ndarray, num_cores: int
+    ) -> "CompactLabels":
+        vertices.setflags(write=False)
+        labels.setflags(write=False)
+        # Counted once at freeze time so cache hits never re-sort labels.
+        num_clusters = int(np.unique(labels).shape[0]) if labels.shape[0] else 0
+        return cls(
+            vertices=vertices,
+            labels=labels,
+            num_cores=num_cores,
+            num_clusters=num_clusters,
+        )
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One served ``(μ, ε)`` answer: compact labels plus request metadata.
+
+    Attributes
+    ----------
+    mu, epsilon:
+        The parameters as requested (ε *before* snapping, so materialised
+        clusterings carry the caller's value).
+    snapped_epsilon:
+        The boundary ε resolves to (see :class:`~repro.serve.snapping.
+        EpsilonSnapper.snap`); ``inf`` when ε exceeds every stored
+        similarity.
+    compact:
+        The shared (possibly cached) :class:`CompactLabels` payload.
+    deterministic_borders:
+        Border-attachment mode the answer was computed under.
+    from_cache:
+        Whether this serve was answered from the result cache.
+    """
+
+    mu: int
+    epsilon: float
+    snapped_epsilon: float
+    compact: CompactLabels
+    num_vertices: int
+    deterministic_borders: bool
+    from_cache: bool
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Clustered vertex ids (cores first, then borders)."""
+        return self.compact.vertices
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Cluster label of each entry of :attr:`vertices`."""
+        return self.compact.labels
+
+    @property
+    def num_cores(self) -> int:
+        """Number of core vertices (the leading entries of :attr:`vertices`)."""
+        return self.compact.num_cores
+
+    @property
+    def num_clustered_vertices(self) -> int:
+        """Number of vertices assigned to some cluster."""
+        return int(self.compact.vertices.shape[0])
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct clusters (precomputed; O(1) on cache hits)."""
+        return self.compact.num_clusters
+
+    def to_clustering(self) -> Clustering:
+        """Materialise the dense :class:`~repro.core.clustering.Clustering`.
+
+        The dense form is bit-identical to what the cold query path returns
+        for the same parameters and border mode.  This is the only O(n) step
+        of the serving path; callers that only need cluster counts or member
+        lists can stay compact.
+        """
+        labels = np.full(self.num_vertices, UNCLUSTERED, dtype=np.int64)
+        labels[self.compact.vertices] = self.compact.labels
+        core_mask = np.zeros(self.num_vertices, dtype=bool)
+        core_mask[self.compact.vertices[: self.compact.num_cores]] = True
+        return Clustering(labels, core_mask, mu=self.mu, epsilon=self.epsilon)
+
+
+class ClusterSession:
+    """A persistent serving loop over one loaded :class:`ScanIndex`.
+
+    Parameters
+    ----------
+    index:
+        The index to serve; typically a loaded artifact
+        (:meth:`ScanIndex.load <repro.core.index.ScanIndex.load>`).
+    cache_size:
+        Capacity of the session-owned LRU result cache; zero or negative
+        disables caching (recycled buffers still apply).  Ignored when
+        ``cache`` is given.
+    cache:
+        An externally owned :class:`~repro.serve.cache.ResultCache` to
+        share between sessions.  Sessions over the *same index object*
+        share a cache generation -- and therefore each other's entries --
+        while sessions over any other index bind a generation of their
+        own, so one index's entries can never be served for another (nor
+        for this session after :meth:`invalidate`).
+
+    Open one via :meth:`ScanIndex.session()
+    <repro.core.index.ScanIndex.session>`::
+
+        index = ScanIndex.load("my.scanidx")
+        session = index.session()
+        result = session.serve(5, 0.6)          # compact, cached
+        clustering = session.query(5, 0.6)      # dense Clustering
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        cache_size: int = 256,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.index = index
+        self.num_vertices = int(index.graph.num_vertices)
+        self.buffers = QueryBuffers(self.num_vertices)
+        self.snapper = _shared_snapper(index)
+        if cache is not None:
+            self.cache: ResultCache | None = cache
+        elif cache_size > 0:
+            self.cache = ResultCache(cache_size)
+        else:
+            self.cache = None
+        # NB: an empty ResultCache is falsy (__len__ == 0) -- test identity.
+        self._generation = (
+            _bind_generation(index, self.cache) if self.cache is not None else 0
+        )
+        self.scheduler = Scheduler()
+        self.served = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(
+        self, mu: int, epsilon: float, *, deterministic_borders: bool = False
+    ) -> ServedResult:
+        """Answer one ``(μ, ε)`` query from cache or the recycled-buffer path.
+
+        The cache key is ``(generation, μ, rank(ε), border-mode)`` with
+        ``rank`` the ε-snapping rank, so a hit requires only the O(log m)
+        snap and a dict lookup.  On a miss the clustering is computed with
+        the session's recycled buffers and the compact payload is cached.
+        Either way the answer is bit-identical to a cold
+        :meth:`ScanIndex.query <repro.core.index.ScanIndex.query>`.
+        """
+        mu = int(mu)
+        epsilon = float(epsilon)
+        if mu < 2:
+            raise ValueError(f"mu must be at least 2, got {mu}")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+        rank = self.snapper.rank(epsilon)
+        deterministic_borders = bool(deterministic_borders)
+        key = (self._generation, mu, rank, deterministic_borders)
+        compact = self.cache.get(key) if self.cache is not None else None
+        from_cache = compact is not None
+        if compact is None:
+            compact = self._compute_compact(mu, epsilon, deterministic_borders)
+            if self.cache is not None:
+                self.cache.put(key, compact)
+        self.served += 1
+        self.cache_hits += int(from_cache)
+        return ServedResult(
+            mu=mu,
+            epsilon=epsilon,
+            snapped_epsilon=self.snapper.snap_at(rank),
+            compact=compact,
+            num_vertices=self.num_vertices,
+            deterministic_borders=deterministic_borders,
+            from_cache=from_cache,
+        )
+
+    def serve_many(
+        self,
+        pairs: Iterable[tuple[int, float]],
+        *,
+        deterministic_borders: bool = False,
+    ) -> list[ServedResult]:
+        """Serve a stream of pairs through the cache, one :meth:`serve` each.
+
+        Unlike :meth:`query_many` this routes every request through the
+        result cache, which is what a repeated-workload serving loop wants;
+        use :meth:`query_many` for one-shot sweeps over mostly distinct
+        settings, where the batched planner's shared probes win instead.
+        """
+        return [
+            self.serve(mu, epsilon, deterministic_borders=deterministic_borders)
+            for mu, epsilon in pairs
+        ]
+
+    def query(
+        self, mu: int, epsilon: float, *, deterministic_borders: bool = False
+    ) -> Clustering:
+        """Serve and materialise a dense clustering (cold-path compatible)."""
+        return self.serve(
+            mu, epsilon, deterministic_borders=deterministic_borders
+        ).to_clustering()
+
+    def query_many(
+        self,
+        pairs: Iterable[tuple[int, float]],
+        *,
+        deterministic_borders: bool = False,
+    ) -> list[Clustering]:
+        """Batched sweep over the session's recycled buffers (no caching).
+
+        Routes through the multi-parameter planner
+        (:func:`repro.core.sweep_query.query_many`) with this session's
+        :class:`~repro.core.query.QueryBuffers`, so the planner's O(n)
+        scratch is not reallocated per call.  Results are dense clusterings
+        in input order, bit-identical to cold calls.
+        """
+        from ..core.sweep_query import query_many as _query_many
+
+        return _query_many(
+            self.index.graph,
+            self.index.neighbor_order,
+            self.index.core_order,
+            pairs,
+            scheduler=self.scheduler,
+            deterministic_borders=deterministic_borders,
+            buffers=self.buffers,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop this session's view of the cache (new generation token).
+
+        Call after replacing the session's index contents (e.g. the artifact
+        was rebuilt on disk and reloaded in place).  Old entries become
+        unreachable immediately -- they never match the new generation --
+        and the LRU bound reclaims their slots as new traffic arrives.  The
+        ε-snapper is rebuilt from the (possibly changed) similarity columns
+        and the buffers are resized if the vertex count changed.  The
+        index's generation registry and snapper memo are refreshed too, so
+        sessions opened *after* the invalidation see the new state;
+        sessions already open over the same index must invalidate
+        themselves as well.
+        """
+        if self.cache is not None:
+            self._generation = self.cache.new_generation()
+            registry = getattr(self.index, "_serve_generations", None)
+            if registry is not None:
+                registry[self.cache] = self._generation
+        # The cache keys embed snapped ranks: stale boundaries would make
+        # genuinely different ε values collide under the new generation.
+        self.index.__dict__.pop("_epsilon_snapper", None)
+        self.snapper = _shared_snapper(self.index)
+        n = int(self.index.graph.num_vertices)
+        if n != self.num_vertices:
+            self.num_vertices = n
+            self.buffers = QueryBuffers(n)
+
+    def stats(self) -> dict:
+        """Serving counters: serves, hits, hit rate, and cache stats."""
+        return {
+            "served": self.served,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.cache_hits / self.served if self.served else 0.0,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    # The recycled-buffer compute path
+    # ------------------------------------------------------------------
+    def _compute_compact(
+        self, mu: int, epsilon: float, deterministic_borders: bool
+    ) -> CompactLabels:
+        """Cold compute of one query using only recycled O(n) scratch.
+
+        Mirrors :func:`repro.core.query.cluster` step for step -- same core
+        prefix, same arc gather, same union order, same border rule -- but
+        writes into the session's buffers and emits the compact form.  Every
+        buffer entry touched is restored before returning, which is what
+        keeps steady-state allocation proportional to the result.
+        """
+        scheduler = self.scheduler
+        neighbor_order = self.index.neighbor_order
+        cores = get_cores(self.index.core_order, mu, epsilon, scheduler=scheduler)
+        if cores.size == 0:
+            return CompactLabels.freeze(_EMPTY_IDS, _EMPTY_IDS, 0)
+        arc_sources, arc_targets, arc_similarities = _epsilon_similar_arcs(
+            neighbor_order, cores, epsilon, scheduler
+        )
+
+        # Core-core connectivity on the recycled forest (identity between
+        # queries).  Each buffer restore runs in a finally: a request that
+        # dies mid-serve (e.g. KeyboardInterrupt in a long-lived front end
+        # that keeps the session) must not poison later queries.
+        member = self.buffers.member
+        try:
+            # The write sits inside the try: clearing entries that were
+            # never set is a no-op, so the restore is safe from any point.
+            member[cores] = True
+            core_to_core = member[arc_targets]
+        finally:
+            member[cores] = False
+        cc_sources = arc_sources[core_to_core]
+        cc_targets = arc_targets[core_to_core]
+        forest = self.buffers.forest
+        try:
+            forest.union_batch(scheduler, cc_sources, cc_targets)
+            core_labels = forest.find_batch(scheduler, cores)
+        finally:
+            forest.reset_batch(cc_sources, cc_targets, cores)
+
+        # Border attachment, resolved compactly: the label scratch holds the
+        # core labels only long enough to translate winning arcs.
+        border_arcs = ~core_to_core
+        border_targets = arc_targets[border_arcs]
+        scheduler.charge(
+            int(border_targets.size),
+            ceil_log2(max(int(border_targets.size), 1)) + 1.0,
+        )
+        if border_targets.size:
+            border_sources = arc_sources[border_arcs]
+            border_vertices, winners = resolve_border_assignments(
+                border_sources,
+                border_targets,
+                arc_similarities[border_arcs],
+                deterministic=deterministic_borders,
+            )
+            scratch = self.buffers.labels
+            try:
+                scratch[cores] = core_labels
+                border_labels = scratch[border_sources[winners]]
+            finally:
+                scratch[cores] = UNCLUSTERED
+        else:
+            border_vertices = _EMPTY_IDS
+            border_labels = _EMPTY_IDS
+        return CompactLabels.freeze(
+            np.concatenate([cores, border_vertices]),
+            np.concatenate([core_labels, border_labels]),
+            int(cores.size),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = repr(self.cache) if self.cache is not None else "disabled"
+        return (
+            f"ClusterSession(n={self.num_vertices}, served={self.served}, "
+            f"cache={cache})"
+        )

@@ -18,7 +18,11 @@ Typical usage goes through the :class:`~repro.core.index.ScanIndex` seam::
     index = ScanIndex.load("artifacts/orkut.scanidx")   # columns memory-mapped
     clusterings = index.query_many([(5, 0.6), (5, 0.7), (8, 0.4)])
 
-See :mod:`repro.storage.format` for the on-disk layout.
+See :mod:`repro.storage.format` for the on-disk layout.  A loaded artifact
+is also what the serving loop sits on: ``index.session()``
+(:mod:`repro.serve`) keeps recycled buffers and an ε-snapped result cache
+over exactly these memory-mapped columns, so many serving processes can
+share one artifact's pages.
 """
 
 from __future__ import annotations

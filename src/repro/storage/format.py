@@ -44,7 +44,12 @@ by default): loading an artifact touches no column data until a query reads
 it, which is what makes one saved build cheap to share across many serving
 processes.  Everything a query needs -- the sorted orders, the similarity
 scores, the arc -> edge mapping -- is stored explicitly, so reconstruction
-performs no similarity computation and no sorting of any kind.
+performs no similarity computation and no sorting of any kind (the
+"mmap zero-recompute load" invariant; see ``docs/ARCHITECTURE.md``).
+Readers must reject anything they cannot prove consistent -- wrong format
+name or version, header/column disagreement, truncated archives -- by
+raising :class:`ArtifactFormatError`, which the CLI surfaces as a clean
+operator error rather than a traceback.
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -61,3 +63,114 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "clusters: 2" in output
         assert "hubs: 1" in output
+
+
+@pytest.fixture()
+def artifact(tmp_path):
+    """A small saved index artifact plus the edge list it was built from."""
+    path = tmp_path / "paper.txt"
+    write_edge_list(paper_example_graph(), path)
+    artifact_path = tmp_path / "paper.scanidx"
+    assert main(["index", "build", str(path), str(artifact_path)]) == 0
+    return artifact_path
+
+
+class TestServeCommand:
+    def test_serves_requests_from_file(self, artifact, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("3:0.6\n2 0.5\n# a comment\n\n3:0.6\n")
+        assert main(["serve", str(artifact), "--requests", str(requests)]) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l.startswith("mu=")]
+        assert len(lines) == 3
+        assert "cache=miss" in lines[0]
+        assert "cache=hit" in lines[2]          # repeat of the first request
+        assert "served 3 requests" in captured.err
+
+    def test_served_counts_match_direct_query(self, artifact, tmp_path, capsys):
+        from repro import ScanIndex
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("3:0.6\n")
+        assert main(["serve", str(artifact), "--requests", str(requests)]) == 0
+        line = [l for l in capsys.readouterr().out.splitlines()
+                if l.startswith("mu=")][0]
+        clustering = ScanIndex.load(artifact).query(3, 0.6)
+        assert f"clusters={clustering.num_clusters}" in line
+        assert f"clustered={clustering.num_clustered_vertices}" in line
+
+    def test_bad_request_lines_are_reported_not_fatal(self, artifact, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("bogus\n3:0.6\n1:0.5\n3:1.7\n")
+        assert main(["serve", str(artifact), "--requests", str(requests)]) == 1
+        captured = capsys.readouterr()
+        assert len([l for l in captured.out.splitlines() if l.startswith("mu=")]) == 1
+        assert "expected MU:EPSILON" in captured.err
+        assert "mu must be at least 2" in captured.err
+
+    def test_missing_requests_file(self, artifact, capsys):
+        assert main(["serve", str(artifact), "--requests", "/no/such/file"]) == 2
+        assert "cannot read requests" in capsys.readouterr().err
+
+    def test_interactive_client_gets_each_answer_before_next_request(self, artifact):
+        """Responses must flush per request, or a piped client deadlocks."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent.parent / "src"
+        ) + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(artifact)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            for request in ("3:0.6\n", "3:0.6\n"):
+                proc.stdin.write(request)
+                proc.stdin.flush()
+                line = proc.stdout.readline()   # hangs if responses buffer up
+                assert line.startswith("mu=3"), line
+            assert "cache=hit" in line
+        finally:
+            proc.stdin.close()
+            proc.wait(timeout=30)
+
+
+class TestArtifactErrorReporting:
+    """Missing/corrupt artifacts are operator errors: message, not traceback."""
+
+    @pytest.mark.parametrize("command", [
+        ["cluster", "--load", "{path}"],
+        ["index", "query", "{path}"],
+        ["serve", "{path}", "--requests", "/dev/null"],
+    ])
+    def test_missing_artifact_path(self, command, tmp_path, capsys):
+        missing = tmp_path / "nowhere.scanidx"
+        argv = [token.format(path=missing) for token in command]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot load index artifact" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", [
+        ["cluster", "--load", "{path}"],
+        ["index", "query", "{path}"],
+    ])
+    def test_corrupt_artifact_header(self, command, artifact, capsys):
+        (artifact / "header.json").write_text("{not json")
+        argv = [token.format(path=artifact) for token in command]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot load index artifact" in err
+        assert "corrupt header" in err
+
+    def test_corrupt_column_archive(self, artifact, capsys):
+        (artifact / "columns.npz").write_bytes(b"definitely not a zip file")
+        assert main(["index", "query", str(artifact)]) == 2
+        assert "error: cannot load index artifact" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Tests for the bounded LRU result cache and its generation tokens."""
+
+import numpy as np
+import pytest
+
+from repro import ScanIndex
+from repro.graphs import from_edge_list, paper_example_graph
+from repro.serve import ResultCache
+
+
+class TestLRU:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_get_miss_returns_none(self):
+        cache = ResultCache(2)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")            # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_refreshing_insert_does_not_evict(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)        # refresh, not growth
+        assert len(cache) == 2 and cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_clear(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache
+
+    def test_stats_snapshot(self):
+        cache = ResultCache(3)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.stats() == {
+            "size": 1, "capacity": 3, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+
+class TestGenerations:
+    def test_tokens_are_never_reused(self):
+        cache = ResultCache(4)
+        tokens = [cache.new_generation() for _ in range(10)]
+        assert len(set(tokens)) == 10
+
+    def test_same_index_sessions_share_cache_entries(self):
+        """Workers over one loaded index pool their hits through one cache."""
+        cache = ResultCache(8)
+        index = ScanIndex.build(paper_example_graph())
+        first = index.session(cache=cache)
+        second = index.session(cache=cache)
+        warmed = first.serve(3, 0.6)
+        shared = second.serve(3, 0.6)
+        assert shared.from_cache
+        assert shared.compact is warmed.compact
+
+    def test_invalidate_propagates_to_sessions_opened_later(self):
+        cache = ResultCache(8)
+        index = ScanIndex.build(paper_example_graph())
+        session = index.session(cache=cache)
+        session.serve(3, 0.6)
+        session.invalidate()
+        late = index.session(cache=cache)
+        assert not late.serve(3, 0.6).from_cache
+
+    def test_sessions_sharing_a_cache_never_cross_serve(self):
+        """An entry cached for one index is never served for another."""
+        cache = ResultCache(8)
+        index_a = ScanIndex.build(paper_example_graph())
+        index_b = ScanIndex.build(
+            from_edge_list([(0, 1), (1, 2), (0, 2), (2, 3)], num_vertices=11)
+        )
+        session_a = index_a.session(cache=cache)
+        session_b = index_b.session(cache=cache)
+        result_a = session_a.serve(3, 0.6)
+        result_b = session_b.serve(3, 0.6)
+        assert not result_b.from_cache
+        assert not np.array_equal(
+            result_a.to_clustering().labels, result_b.to_clustering().labels
+        )
+
+    def test_invalidate_prevents_stale_hits_and_lru_reclaims(self):
+        index = ScanIndex.build(paper_example_graph())
+        session = index.session(cache_size=4)
+        first = session.serve(3, 0.6)
+        assert session.serve(3, 0.6).from_cache
+        session.invalidate()
+        refreshed = session.serve(3, 0.6)
+        assert not refreshed.from_cache           # old generation never matches
+        assert np.array_equal(first.labels, refreshed.labels)
+        # The stale entry still occupies a slot until LRU pressure evicts it.
+        for epsilon in (0.1, 0.2, 0.3, 0.4, 0.5):
+            session.serve(2, epsilon)
+        assert len(session.cache) <= 4
