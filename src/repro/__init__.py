@@ -9,6 +9,10 @@ A from-scratch Python reproduction of Tseng, Dhulipala and Shun,
 * :class:`~repro.lsh.approximate.ApproximationConfig` -- switch index
   construction to LSH-approximated similarities;
 * :class:`~repro.core.clustering.Clustering` -- the query result type;
+* :class:`~repro.dynamic.UpdateBatch` -- batched edge insertions/deletions
+  applied in place via :meth:`ScanIndex.apply_updates
+  <repro.core.index.ScanIndex.apply_updates>`, bit-identical to a rebuild
+  on the mutated graph at a fraction of the cost;
 * the graph constructors and generators under :mod:`repro.graphs`.
 
 Similarity backends
@@ -40,12 +44,13 @@ graphs.
 
 from .core.clustering import UNCLUSTERED, Clustering
 from .core.index import ScanIndex
+from .dynamic import UpdateBatch, UpdateReport
 from .lsh.approximate import ApproximationConfig, compute_approximate_similarities
 from .serve import ClusterSession, ServedResult
 from .similarity.exact import EdgeSimilarities, compute_similarities
 from .storage import ArtifactFormatError, IndexArtifact
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "UNCLUSTERED",
@@ -57,6 +62,8 @@ __all__ = [
     "ArtifactFormatError",
     "EdgeSimilarities",
     "IndexArtifact",
+    "UpdateBatch",
+    "UpdateReport",
     "compute_similarities",
     "compute_approximate_similarities",
     "__version__",

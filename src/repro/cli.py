@@ -28,6 +28,16 @@ result cache, misses run on recycled buffers::
     printf '5:0.6\n5:0.7\n5:0.6\n' | python -m repro serve my.scanidx
     python -m repro serve my.scanidx --requests workload.txt --deterministic
 
+When the graph changes, ``update`` applies an edge-list delta file
+(``+ u v [w]`` inserts, ``- u v`` deletes) to a saved artifact and re-saves
+it -- the index is *patched* in work proportional to the affected
+neighborhoods, bit-identical to rebuilding from scratch on the mutated
+graph, and the artifact header records the update lineage::
+
+    printf -- '+ 3 17\n- 0 9\n' > delta.txt
+    python -m repro update my.scanidx delta.txt
+    python -m repro update my.scanidx delta.txt --output patched.scanidx
+
 The ``run`` subcommand prints the same rows the benchmark suite produces, so
 a single figure can be reproduced without going through pytest.
 """
@@ -42,6 +52,7 @@ from .bench.datasets import DATASETS, SCALES, dataset_summaries
 from .bench.experiments import ALL_EXPERIMENTS
 from .bench.reporting import format_table
 from .core.index import ScanIndex
+from .dynamic import load_delta_file
 from .graphs.io import read_edge_list
 from .lsh.approximate import ApproximationConfig
 from .similarity.exact import BACKENDS
@@ -210,6 +221,46 @@ def _command_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update(args: argparse.Namespace) -> int:
+    index = _load_artifact(args.artifact)
+    if index is None:
+        return 2
+    try:
+        batch = load_delta_file(args.delta)
+    except OSError as error:
+        print(f"error: cannot read delta file {args.delta!r}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = index.apply_updates(batch)
+    except ValueError as error:
+        # A delta that does not fit the artifact (edge already present /
+        # absent, out-of-range vertex, LSH index) is an operator mistake.
+        print(f"error: cannot apply delta to {args.artifact!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        path = index.save(args.output if args.output is not None else args.artifact)
+    except OSError as error:
+        print(f"error: cannot save updated artifact: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"applied {report.insertions} insertions, {report.deletions} deletions"
+        + (f" ({report.cancelled} opposing ops cancelled)" if report.cancelled else "")
+    )
+    print(
+        f"recomputed {report.affected_edges} affected edges across "
+        f"{report.affected_vertices} vertices in {report.wall_seconds:.3f}s"
+    )
+    print(
+        f"graph now: {index.graph.num_vertices} vertices, {index.graph.num_edges} "
+        f"edges ({len(index.update_lineage)} update batches in lineage)"
+    )
+    print(f"saved updated artifact to {path}")
+    return 0
+
+
 def _parse_request(line: str) -> tuple[int, float]:
     """Parse one serve request line (``MU:EPSILON`` or ``MU EPSILON``)."""
     token = line.replace(":", " ").split()
@@ -342,6 +393,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="batch of settings answered by one planned sweep, "
                                   "e.g. --pairs 3:0.4 5:0.6 5:0.7")
     index_query.set_defaults(handler=_command_index_query)
+
+    update = subparsers.add_parser(
+        "update",
+        help="apply an edge insert/delete delta to a saved artifact in place",
+    )
+    update.add_argument("artifact", help="artifact directory written by 'index build'")
+    update.add_argument("delta", help="delta file: '+ u v [weight]' inserts, '- u v' deletes")
+    update.add_argument("--output", metavar="ARTIFACT", default=None,
+                        help="write the patched artifact here instead of in place")
+    update.set_defaults(handler=_command_update)
 
     serve = subparsers.add_parser(
         "serve",

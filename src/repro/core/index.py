@@ -40,12 +40,19 @@ across calls and caches results under ε-snapped keys (see
     session = index.session()
     result = session.serve(5, 0.6)       # compact answer, cached
     clustering = session.query(5, 0.6)   # dense Clustering, cache hit
+
+When the graph evolves, a batch of edge insertions/deletions patches the
+index in place -- bit-identical to a rebuild on the mutated graph, in work
+proportional to the affected neighborhoods (see :mod:`repro.dynamic`);
+open sessions are auto-invalidated::
+
+    index.apply_updates(insertions=[(3, 17)], deletions=[(0, 9)])
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -79,6 +86,10 @@ class ScanIndex:
     construction_report:
         Work/span/wall-clock record of the construction, used by the
         benchmark harness.
+    update_lineage:
+        One record per applied update batch (see :meth:`apply_updates`);
+        empty for a freshly built index.  Persisted in the artifact header
+        so a loaded index knows its mutation history.
     """
 
     graph: Graph
@@ -86,6 +97,7 @@ class ScanIndex:
     neighbor_order: NeighborOrder
     core_order: CoreOrder
     construction_report: CostReport
+    update_lineage: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Construction
@@ -302,6 +314,59 @@ class ScanIndex:
         from ..serve.session import ClusterSession
 
         return ClusterSession(self, cache_size=cache_size, cache=cache)
+
+    # ------------------------------------------------------------------
+    # Mutation (the dynamic/ subsystem seam)
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        batch=None,
+        *,
+        insertions=None,
+        deletions=None,
+        scheduler: Scheduler | None = None,
+    ):
+        """Apply a batch of edge insertions/deletions **in place**.
+
+        The index is repaired, not rebuilt: only edges incident to a
+        touched endpoint have their similarity recomputed, and only the
+        affected vertices' runs of the neighbor and core orders are
+        respliced (merges of sorted runs; see :mod:`repro.dynamic`).  The
+        result is bit-identical to ``ScanIndex.build`` on the mutated
+        graph -- same stored columns, same query answers in both border
+        modes -- at a fraction of the cost for small batches
+        (``benchmarks/bench_updates.py`` tracks the ratio).
+
+        Every open serving session over this index is auto-invalidated:
+        the mutation bumps the index's serving generations, so cached
+        pre-update results can never be served afterwards.
+
+        Parameters
+        ----------
+        batch:
+            A prepared :class:`~repro.dynamic.UpdateBatch`; mutually
+            exclusive with the keyword edge lists.
+        insertions:
+            Iterable of ``(u, v)`` or ``(u, v, weight)`` edges to add.
+        deletions:
+            Iterable of ``(u, v)`` edges to remove.
+        scheduler:
+            Work-span accounting target; a fresh one is used when omitted.
+
+        Returns an :class:`~repro.dynamic.UpdateReport`.  Raises
+        ``ValueError`` for LSH-approximate indexes, edges already present
+        (insert) or absent (delete), and out-of-range endpoints.
+        """
+        from ..dynamic import UpdateBatch
+        from ..dynamic.patch import apply_updates as _apply_updates
+
+        if batch is None:
+            batch = UpdateBatch.from_edges(insertions or (), deletions or ())
+        elif insertions is not None or deletions is not None:
+            raise ValueError(
+                "pass either a prepared batch or insertions/deletions lists, not both"
+            )
+        return _apply_updates(self, batch, scheduler=scheduler)
 
     # ------------------------------------------------------------------
     # Persistence (the storage/ subsystem seam)

@@ -20,7 +20,16 @@ serving loop that removes that tax:
 * **Result caching.**  A bounded LRU (:class:`~repro.serve.cache.
   ResultCache`) keyed by ``(generation, μ, ε-rank, border-mode)`` holds
   compact label payloads; repeats of a hot ``(μ, ε)`` are answered without
-  touching the index at all.
+  touching the index at all.  Batched sweeps (:meth:`ClusterSession.
+  query_many`) route through the same cache: hits are materialised from
+  cached payloads, misses run as one planned batch and are admitted.
+* **Update safety.**  Generation tokens live in a registry shared by every
+  session over one index, read on *every* request -- so an
+  :meth:`~repro.core.index.ScanIndex.apply_updates` mutation (or any
+  session's :meth:`ClusterSession.invalidate`) makes all of them miss at
+  once, and the mutation-epoch check rebuilds stale ε-snappers
+  automatically.  A served result can never mix pre- and post-update
+  state.
 
 Results come back as :class:`ServedResult` -- a *compact* clustering listing
 only the clustered vertices and their labels -- and materialise to a dense
@@ -54,9 +63,45 @@ from ..parallel.scheduler import Scheduler
 from .cache import ResultCache
 from .snapping import EpsilonSnapper
 
-__all__ = ["ClusterSession", "CompactLabels", "ServedResult"]
+__all__ = [
+    "ClusterSession",
+    "CompactLabels",
+    "ServedResult",
+    "invalidate_index_generations",
+]
+
+
+def invalidate_index_generations(index) -> None:
+    """Re-key every serving generation bound to ``index`` and bump its epoch.
+
+    The shared staleness epilogue of :meth:`ScanIndex.apply_updates
+    <repro.core.index.ScanIndex.apply_updates>` and
+    :meth:`ClusterSession.invalidate`: afterwards no session over ``index``
+    -- whatever cache it holds -- can serve a pre-mutation entry, and each
+    session rebuilds its ε-snapper on its next request (the memoized one is
+    dropped here so that rebuild happens at most once per mutation).
+    """
+    index._mutation_epoch = getattr(index, "_mutation_epoch", 0) + 1
+    index.__dict__.pop("_epsilon_snapper", None)
+    registry = getattr(index, "_serve_generations", None)
+    if registry is not None:
+        for cache in list(registry):
+            registry[cache] = cache.new_generation()
 
 _EMPTY_IDS = np.zeros(0, dtype=np.int64)
+
+
+def _materialise_dense(compact, num_vertices: int, mu: int, epsilon: float):
+    """Dense :class:`Clustering` from a compact payload (the one O(n) step).
+
+    Shared by :meth:`ServedResult.to_clustering` and the sweep cache-hit
+    path, so served results and cached sweep answers can never diverge.
+    """
+    labels = np.full(num_vertices, UNCLUSTERED, dtype=np.int64)
+    labels[compact.vertices] = compact.labels
+    core_mask = np.zeros(num_vertices, dtype=bool)
+    core_mask[compact.vertices[: compact.num_cores]] = True
+    return Clustering(labels, core_mask, mu=mu, epsilon=epsilon)
 
 
 def _shared_snapper(index) -> EpsilonSnapper:
@@ -188,11 +233,9 @@ class ServedResult:
         of the serving path; callers that only need cluster counts or member
         lists can stay compact.
         """
-        labels = np.full(self.num_vertices, UNCLUSTERED, dtype=np.int64)
-        labels[self.compact.vertices] = self.compact.labels
-        core_mask = np.zeros(self.num_vertices, dtype=bool)
-        core_mask[self.compact.vertices[: self.compact.num_cores]] = True
-        return Clustering(labels, core_mask, mu=self.mu, epsilon=self.epsilon)
+        return _materialise_dense(
+            self.compact, self.num_vertices, self.mu, self.epsilon
+        )
 
 
 class ClusterSession:
@@ -242,12 +285,43 @@ class ClusterSession:
         else:
             self.cache = None
         # NB: an empty ResultCache is falsy (__len__ == 0) -- test identity.
-        self._generation = (
-            _bind_generation(index, self.cache) if self.cache is not None else 0
-        )
+        if self.cache is not None:
+            _bind_generation(index, self.cache)
+        # Mutations (ScanIndex.apply_updates) bump the index's epoch; the
+        # session compares on every request and self-invalidates, so stale
+        # snapper boundaries or cache entries are never consulted.
+        self._index_epoch = getattr(index, "_mutation_epoch", 0)
         self.scheduler = Scheduler()
         self.served = 0
         self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Staleness guards
+    # ------------------------------------------------------------------
+    def _generation_token(self) -> int:
+        """The *current* generation for this session's cache over this index.
+
+        Read from the index's shared registry on every request rather than
+        memoized at construction: any party that bumps the registry --
+        :meth:`invalidate` on a sibling session, or the index's own
+        ``apply_updates`` -- immediately makes every session bound to that
+        (index, cache) pair miss, which is the staleness guarantee.
+        """
+        token = getattr(self.index, "_serve_generations", {}).get(self.cache)
+        if token is None:  # registry dropped (e.g. index swapped) -- rebind
+            token = _bind_generation(self.index, self.cache)
+        return token
+
+    def _refresh_if_mutated(self) -> None:
+        """Resync with the index when it was mutated since the last request.
+
+        ``apply_updates`` already re-keyed the shared generations, so this
+        only rebuilds the session-local state (ε-snapper, buffers, epoch)
+        -- bumping the generation *again* here would discard post-update
+        entries a sibling session cached moments earlier.
+        """
+        if getattr(self.index, "_mutation_epoch", 0) != self._index_epoch:
+            self._resync_with_index()
 
     # ------------------------------------------------------------------
     # Serving
@@ -270,9 +344,11 @@ class ClusterSession:
             raise ValueError(f"mu must be at least 2, got {mu}")
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+        self._refresh_if_mutated()
         rank = self.snapper.rank(epsilon)
         deterministic_borders = bool(deterministic_borders)
-        key = (self._generation, mu, rank, deterministic_borders)
+        generation = self._generation_token() if self.cache is not None else 0
+        key = (generation, mu, rank, deterministic_borders)
         compact = self.cache.get(key) if self.cache is not None else None
         from_cache = compact is not None
         if compact is None:
@@ -323,52 +399,137 @@ class ClusterSession:
         *,
         deterministic_borders: bool = False,
     ) -> list[Clustering]:
-        """Batched sweep over the session's recycled buffers (no caching).
+        """Batched sweep through the result cache and the recycled buffers.
 
-        Routes through the multi-parameter planner
-        (:func:`repro.core.sweep_query.query_many`) with this session's
-        :class:`~repro.core.query.QueryBuffers`, so the planner's O(n)
-        scratch is not reallocated per call.  Results are dense clusterings
-        in input order, bit-identical to cold calls.
+        Every pair is first snapped and looked up in the session's result
+        cache -- a sweep that repeats earlier traffic (or repeats itself)
+        is answered from cached compact payloads.  The remaining misses run
+        as **one** planned batch through the multi-parameter planner
+        (:func:`repro.core.sweep_query.query_many`) on this session's
+        :class:`~repro.core.query.QueryBuffers`, and their compact payloads
+        are admitted to the cache, so a later :meth:`serve` of the same
+        setting hits.  Results are dense clusterings in input order,
+        bit-identical to cold calls; with caching disabled the planner
+        handles everything exactly as before.
         """
         from ..core.sweep_query import query_many as _query_many
 
-        return _query_many(
-            self.index.graph,
-            self.index.neighbor_order,
+        pairs = list(pairs)
+        self._refresh_if_mutated()
+        if self.cache is None:
+            self.served += len(pairs)
+            return _query_many(
+                self.index.graph,
+                self.index.neighbor_order,
+                self.index.core_order,
+                pairs,
+                scheduler=self.scheduler,
+                deterministic_borders=deterministic_borders,
+                buffers=self.buffers,
+            )
+
+        deterministic_borders = bool(deterministic_borders)
+        generation = self._generation_token()
+        results: list[Clustering | None] = [None] * len(pairs)
+        misses: dict[tuple, list[int]] = {}
+        for position, (mu, epsilon) in enumerate(pairs):
+            mu = int(mu)
+            epsilon = float(epsilon)
+            if mu < 2:
+                raise ValueError(f"mu must be at least 2, got {mu}")
+            if not 0.0 <= epsilon <= 1.0:
+                raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+            key = (generation, mu, self.snapper.rank(epsilon), deterministic_borders)
+            compact = self.cache.get(key)
+            self.served += 1
+            if compact is not None:
+                self.cache_hits += 1
+                results[position] = self._materialise(compact, mu, epsilon)
+            else:
+                # Distinct snapped keys only: duplicates (and ε values that
+                # snap together) ride along with the first occurrence.
+                misses.setdefault(key, []).append(position)
+        if misses:
+            representatives = [pairs[positions[0]] for positions in misses.values()]
+            clusterings = _query_many(
+                self.index.graph,
+                self.index.neighbor_order,
+                self.index.core_order,
+                representatives,
+                scheduler=self.scheduler,
+                deterministic_borders=deterministic_borders,
+                buffers=self.buffers,
+            )
+            for (key, positions), clustering in zip(misses.items(), clusterings):
+                compact = self._admit(clustering)
+                self.cache.put(key, compact)
+                results[positions[0]] = clustering
+                for position in positions[1:]:
+                    mu, epsilon = pairs[position]
+                    results[position] = self._materialise(
+                        compact, int(mu), float(epsilon)
+                    )
+        return results  # type: ignore[return-value]
+
+    def _admit(self, clustering: Clustering) -> CompactLabels:
+        """Compact a planner result into the exact payload :meth:`serve` caches.
+
+        Cores are listed in their ``CO[μ]``-prefix order (recovered with one
+        doubling search) and borders ascending, matching
+        :meth:`_compute_compact` bit for bit -- so entries admitted by a
+        sweep and entries cached by single serves are interchangeable.
+        """
+        cores = get_cores(
             self.index.core_order,
-            pairs,
+            clustering.mu,
+            clustering.epsilon,
             scheduler=self.scheduler,
-            deterministic_borders=deterministic_borders,
-            buffers=self.buffers,
         )
+        clustered = clustering.labels != UNCLUSTERED
+        borders = np.flatnonzero(clustered & ~clustering.core_mask)
+        return CompactLabels.freeze(
+            np.concatenate([cores, borders]),
+            np.concatenate([clustering.labels[cores], clustering.labels[borders]]),
+            int(cores.size),
+        )
+
+    def _materialise(
+        self, compact: CompactLabels, mu: int, epsilon: float
+    ) -> Clustering:
+        """Dense clustering from a compact payload (the cache-hit path)."""
+        return _materialise_dense(compact, self.num_vertices, mu, epsilon)
 
     # ------------------------------------------------------------------
     # Cache lifecycle
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop this session's view of the cache (new generation token).
+        """Bump the serving generation after the index contents changed.
 
-        Call after replacing the session's index contents (e.g. the artifact
-        was rebuilt on disk and reloaded in place).  Old entries become
-        unreachable immediately -- they never match the new generation --
-        and the LRU bound reclaims their slots as new traffic arrives.  The
-        ε-snapper is rebuilt from the (possibly changed) similarity columns
-        and the buffers are resized if the vertex count changed.  The
-        index's generation registry and snapper memo are refreshed too, so
-        sessions opened *after* the invalidation see the new state;
-        sessions already open over the same index must invalidate
-        themselves as well.
+        Called automatically when :meth:`ScanIndex.apply_updates
+        <repro.core.index.ScanIndex.apply_updates>` mutated the index (the
+        session detects the epoch bump on its next request); call it
+        yourself after replacing the index contents by hand (e.g. the
+        artifact was rebuilt on disk and reloaded in place).  The bump
+        lands in the index's *shared* generation registry, so every
+        session bound to the same (index, cache) pair -- not just this one
+        -- misses from now on; old entries never match the new generation
+        and the LRU bound reclaims their slots as traffic arrives.  The
+        ε-snapper is rebuilt from the (possibly changed) similarity
+        columns and the buffers are resized if the vertex count changed.
         """
         if self.cache is not None:
-            self._generation = self.cache.new_generation()
-            registry = getattr(self.index, "_serve_generations", None)
-            if registry is not None:
-                registry[self.cache] = self._generation
-        # The cache keys embed snapped ranks: stale boundaries would make
-        # genuinely different ε values collide under the new generation.
-        self.index.__dict__.pop("_epsilon_snapper", None)
+            _bind_generation(self.index, self.cache)   # ensure registered
+        # Re-key EVERY cache bound to this index, not just this session's,
+        # and bump the epoch so siblings resync their snappers: the
+        # guarantee is that no session -- whatever cache it holds -- serves
+        # pre-invalidation entries.  Same epilogue as apply_updates.
+        invalidate_index_generations(self.index)
+        self._resync_with_index()
+
+    def _resync_with_index(self) -> None:
+        """Rebuild session-local state from the index's current contents."""
         self.snapper = _shared_snapper(self.index)
+        self._index_epoch = getattr(self.index, "_mutation_epoch", 0)
         n = int(self.index.graph.num_vertices)
         if n != self.num_vertices:
             self.num_vertices = n

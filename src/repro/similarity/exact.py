@@ -68,12 +68,21 @@ class EdgeSimilarities:
     backend:
         The engine that produced the scores (``batch``, ``merge``, ``hash``,
         ``matmul``, ``lsh``); informational, recorded in saved artifacts.
+    numerators:
+        Optional closed-neighborhood dot products the scores were finalised
+        from (one per edge).  The exact backends attach them; the dynamic
+        update subsystem uses them to recompute only the *triangle-affected*
+        numerators of a batch and re-finalise everything else from stored
+        values (see :mod:`repro.dynamic`).  ``None`` for LSH estimates and
+        hand-assembled score arrays, in which case updates fall back to a
+        wider recompute.
     """
 
     graph: Graph
     values: np.ndarray
     measure: str
     backend: str = ""
+    numerators: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -81,6 +90,13 @@ class EdgeSimilarities:
             raise ValueError(
                 f"expected {self.graph.num_edges} similarity values, got {self.values.shape[0]}"
             )
+        if self.numerators is not None:
+            self.numerators = np.asarray(self.numerators, dtype=np.float64)
+            if self.numerators.shape[0] != self.graph.num_edges:
+                raise ValueError(
+                    f"expected {self.graph.num_edges} numerators, "
+                    f"got {self.numerators.shape[0]}"
+                )
 
     def of(self, u: int, v: int) -> float:
         """Similarity of the edge ``{u, v}``."""
@@ -226,7 +242,12 @@ def _finalise(
     measure: str,
     scheduler: Scheduler,
 ) -> np.ndarray:
-    """Turn closed-intersection numerators into the requested similarity."""
+    """Turn closed-intersection numerators into the requested similarity.
+
+    The subset branch of :func:`finalise_numerators` below mirrors these
+    expressions edge for edge; any change here must land there too, or
+    dynamically patched indexes stop being bit-identical to rebuilds.
+    """
     edge_u, edge_v = graph.edge_list()
     scheduler.charge(graph.num_edges, ceil_log2(max(graph.num_edges, 1)) + 1.0)
     if measure == "cosine":
@@ -234,6 +255,62 @@ def _finalise(
         return numerators / (norms[edge_u] * norms[edge_v])
     closed_u = graph.degrees[edge_u].astype(np.float64) + 1.0
     closed_v = graph.degrees[edge_v].astype(np.float64) + 1.0
+    if measure == "jaccard":
+        return numerators / (closed_u + closed_v - numerators)
+    # Dice.
+    return 2.0 * numerators / (closed_u + closed_v)
+
+
+def finalise_numerators(
+    graph: Graph,
+    numerators: np.ndarray,
+    measure: str,
+    *,
+    edge_ids: np.ndarray | None = None,
+    scheduler: Scheduler | None = None,
+) -> np.ndarray:
+    """Similarity scores from closed-neighborhood dot products.
+
+    With ``edge_ids`` the computation restricts to that subset of canonical
+    edges (``numerators`` then aligns with ``edge_ids``), applying the same
+    elementwise expressions as the all-edge path -- which is what lets the
+    dynamic update subsystem (:mod:`repro.dynamic`) re-finalise only the
+    affected edges **bit-identically** to a full build.
+    """
+    scheduler = scheduler if scheduler is not None else Scheduler()
+    if edge_ids is None:
+        return _finalise(graph, numerators, measure, scheduler)
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    edge_u = graph.edge_u[edge_ids]
+    edge_v = graph.edge_v[edge_ids]
+    degrees = graph.degrees
+    scheduler.charge(edge_ids.shape[0], ceil_log2(max(edge_ids.shape[0], 1)) + 1.0)
+    if measure == "cosine":
+        if graph.arc_weights is None:
+            norm_u = np.sqrt(degrees[edge_u].astype(np.float64) + 1.0)
+            norm_v = np.sqrt(degrees[edge_v].astype(np.float64) + 1.0)
+        else:
+            # Weighted norms of just the touched endpoints: one bincount
+            # over their gathered arcs instead of a whole-graph scatter.
+            from ..parallel.primitives import segmented_ranges
+
+            endpoints = np.unique(np.concatenate([edge_u, edge_v]))
+            counts = degrees[endpoints]
+            positions = segmented_ranges(graph.indptr[endpoints], counts)
+            segment = np.repeat(
+                np.arange(endpoints.shape[0], dtype=np.int64), counts
+            )
+            squared = np.bincount(
+                segment,
+                weights=graph.arc_weights[positions] ** 2,
+                minlength=endpoints.shape[0],
+            )
+            norms = np.sqrt(squared + 1.0)
+            norm_u = norms[np.searchsorted(endpoints, edge_u)]
+            norm_v = norms[np.searchsorted(endpoints, edge_v)]
+        return numerators / (norm_u * norm_v)
+    closed_u = degrees[edge_u].astype(np.float64) + 1.0
+    closed_v = degrees[edge_v].astype(np.float64) + 1.0
     if measure == "jaccard":
         return numerators / (closed_u + closed_v - numerators)
     # Dice.
@@ -273,7 +350,8 @@ def compute_similarities(
     scheduler = scheduler if scheduler is not None else Scheduler()
 
     if graph.num_edges == 0:
-        return EdgeSimilarities(graph, np.zeros(0, dtype=np.float64), measure, backend)
+        empty = np.zeros(0, dtype=np.float64)
+        return EdgeSimilarities(graph, empty, measure, backend, numerators=empty.copy())
 
     if backend == "batch":
         numerators = batch_numerators(graph, scheduler)
@@ -285,4 +363,4 @@ def compute_similarities(
         numerators = _numerators_matmul(graph, scheduler)
 
     values = _finalise(graph, numerators, measure, scheduler)
-    return EdgeSimilarities(graph, values, measure, backend)
+    return EdgeSimilarities(graph, values, measure, backend, numerators=numerators)

@@ -106,6 +106,10 @@ class IndexArtifact:
             columns["graph_arc_weights"] = np.ascontiguousarray(
                 graph.arc_weights, dtype=np.float64
             )
+        if index.similarities.numerators is not None:
+            columns["edge_numerators"] = np.ascontiguousarray(
+                index.similarities.numerators, dtype=np.float64
+            )
         report = index.construction_report
         meta = {
             "format": FORMAT_NAME,
@@ -125,6 +129,10 @@ class IndexArtifact:
                 "span": report.span,
                 "wall_seconds": report.wall_seconds,
             },
+            # Update lineage: one record per dynamic batch applied since the
+            # original build (format version 2), so a re-saved patched
+            # artifact carries its mutation history.
+            "updates": [dict(record) for record in index.update_lineage],
         }
         return cls(columns=columns, meta=meta)
 
@@ -149,6 +157,7 @@ class IndexArtifact:
             columns["edge_similarities"],
             self.meta["measure"],
             self.meta.get("backend", ""),
+            numerators=self.columns.get("edge_numerators"),
         )
         neighbor_order = NeighborOrder(
             indptr=graph.indptr,
@@ -174,6 +183,8 @@ class IndexArtifact:
             neighbor_order=neighbor_order,
             core_order=core_order,
             construction_report=report,
+            # Version-1 artifacts predate lineage and load as lineage-free.
+            update_lineage=[dict(record) for record in self.meta.get("updates", [])],
         )
 
     # ------------------------------------------------------------------
@@ -264,6 +275,8 @@ def _check_shapes(header: dict, columns: dict[str, np.ndarray], directory: Path)
         "no_neighbors": 2 * m,
         "no_similarities": 2 * m,
     }
+    if "edge_numerators" in columns:
+        checks["edge_numerators"] = m
     for name, expected in checks.items():
         if int(columns[name].shape[0]) != expected:
             raise ArtifactFormatError(

@@ -6,15 +6,23 @@ An index artifact is a directory with exactly two entries:
     A small JSON document describing the payload.  Fields:
 
     * ``format`` -- the literal string ``"repro-scan-index"``;
-    * ``version`` -- integer format version (:data:`FORMAT_VERSION`); readers
-      reject any other value, there is no cross-version migration;
+    * ``version`` -- integer format version (:data:`FORMAT_VERSION`);
+      readers accept any version in :data:`SUPPORTED_VERSIONS` and reject
+      everything else.  Version 2 added the ``updates`` lineage field;
+      version-1 artifacts load as lineage-free;
     * ``measure`` / ``backend`` -- similarity measure and engine the index
       was built with (``backend`` is ``"lsh"`` for approximate indexes);
     * ``num_vertices`` / ``num_edges`` / ``weighted`` -- graph shape;
     * ``columns`` -- mapping from column name to ``{"dtype", "length"}``,
       validated against the loaded arrays;
     * ``construction`` -- the work/span/wall-clock record of the original
-      construction (``label``, ``work``, ``span``, ``wall_seconds``).
+      construction (``label``, ``work``, ``span``, ``wall_seconds``);
+    * ``updates`` (version ≥ 2, optional) -- the update lineage: one record
+      per dynamic batch applied since the original build (``insertions``,
+      ``deletions``, ``cancelled``, ``affected_edges``,
+      ``affected_vertices``), in application order.  An artifact re-saved
+      after ``repro update`` carries its full mutation history, staged and
+      swapped in atomically like any other save.
 
 ``columns.npz``
     An *uncompressed* ``np.savez`` archive holding one named numpy column per
@@ -30,6 +38,11 @@ An index artifact is a directory with exactly two entries:
     ``graph_arc_weights``       float64    ``2m``       per-arc weights
                                                         (weighted graphs only)
     ``edge_similarities``       float64    ``m``        per-edge similarity
+    ``edge_numerators``         float64    ``m``        closed-neighborhood dot
+                                                        products (optional;
+                                                        version ≥ 2, exact
+                                                        indexes only -- feeds
+                                                        the dynamic updates)
     ``no_neighbors``            int64      ``2m``       neighbor order ``NO``
                                                         (offsets = graph_indptr)
     ``no_similarities``         float64    ``2m``       similarities along NO
@@ -63,8 +76,11 @@ import numpy as np
 
 #: Magic string identifying the artifact format.
 FORMAT_NAME = "repro-scan-index"
-#: Current (and only readable) format version.
-FORMAT_VERSION = 1
+#: Format version written by this build (2 added the update lineage).
+FORMAT_VERSION = 2
+#: Versions this build can read; version 1 lacks the ``updates`` field and
+#: loads as a lineage-free artifact -- everything else is identical.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: File names inside an artifact directory.
 HEADER_FILE = "header.json"
@@ -82,9 +98,12 @@ REQUIRED_COLUMNS = {
     "co_vertices": np.int64,
     "co_thresholds": np.float64,
 }
-#: Columns that may be absent (unweighted graphs store no weights).
+#: Columns that may be absent (unweighted graphs store no weights; indexes
+#: without stored numerators -- LSH estimates, version-1 artifacts -- omit
+#: ``edge_numerators`` and dynamic updates fall back to a wider recompute).
 OPTIONAL_COLUMNS = {
     "graph_arc_weights": np.float64,
+    "edge_numerators": np.float64,
 }
 
 _LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
@@ -125,14 +144,21 @@ def validate_header(header: dict) -> None:
             f"expected {FORMAT_NAME!r}"
         )
     version = header.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ArtifactFormatError(
             f"unsupported artifact format version {version!r}; "
-            f"this build reads version {FORMAT_VERSION} only"
+            f"this build reads versions {SUPPORTED_VERSIONS} only"
         )
     for key in ("measure", "num_vertices", "num_edges", "columns"):
         if key not in header:
             raise ArtifactFormatError(f"header is missing required field {key!r}")
+    updates = header.get("updates", [])
+    if not isinstance(updates, list) or any(
+        not isinstance(record, dict) for record in updates
+    ):
+        raise ArtifactFormatError(
+            "header field 'updates' must be a list of lineage records"
+        )
     recorded = set(header["columns"])
     missing = set(REQUIRED_COLUMNS) - recorded
     if missing:

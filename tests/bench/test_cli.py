@@ -142,6 +142,85 @@ class TestServeCommand:
             proc.wait(timeout=30)
 
 
+class TestUpdateCommand:
+    def test_applies_delta_in_place_and_records_lineage(
+        self, artifact, tmp_path, capsys
+    ):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("# grow the example\n+ 0 9\n- 0 1\n")
+        assert main(["update", str(artifact), str(delta)]) == 0
+        out = capsys.readouterr().out
+        assert "applied 1 insertions, 1 deletions" in out
+        assert "1 update batches in lineage" in out
+
+        from repro import ScanIndex
+
+        loaded = ScanIndex.load(artifact)
+        assert loaded.graph.has_edge(0, 9)
+        assert not loaded.graph.has_edge(0, 1)
+        assert len(loaded.update_lineage) == 1
+        # The patched artifact equals a rebuild on the mutated graph.
+        edge_u, edge_v = loaded.graph.edge_list()
+        from repro.graphs import from_edge_list
+
+        rebuilt = ScanIndex.build(
+            from_edge_list(
+                list(zip(edge_u.tolist(), edge_v.tolist())),
+                num_vertices=loaded.graph.num_vertices,
+            )
+        )
+        assert (
+            loaded.similarities.values.tobytes()
+            == rebuilt.similarities.values.tobytes()
+        )
+
+    def test_output_flag_leaves_source_artifact_untouched(
+        self, artifact, tmp_path, capsys
+    ):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("+ 0 9\n")
+        target = tmp_path / "patched.scanidx"
+        assert main(["update", str(artifact), str(delta), "--output", str(target)]) == 0
+        from repro import ScanIndex
+
+        assert not ScanIndex.load(artifact).graph.has_edge(0, 9)
+        assert ScanIndex.load(target).graph.has_edge(0, 9)
+
+    def test_inapplicable_delta_is_an_operator_error(self, artifact, tmp_path, capsys):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("+ 0 1\n")      # already present in the example graph
+        assert main(["update", str(artifact), str(delta)]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot apply delta" in err
+        assert "Traceback" not in err
+
+    def test_malformed_delta_file(self, artifact, tmp_path, capsys):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("insert 0 9\n")
+        assert main(["update", str(artifact), str(delta)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_delta_file(self, artifact, tmp_path, capsys):
+        assert main(["update", str(artifact), str(tmp_path / "none.txt")]) == 2
+        assert "cannot read delta file" in capsys.readouterr().err
+
+    def test_unwritable_output_is_an_operator_error(
+        self, artifact, tmp_path, capsys, monkeypatch
+    ):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("+ 0 9\n")
+        from repro.core.index import ScanIndex
+
+        def refuse(self, path):
+            raise PermissionError(f"cannot write {path}")
+
+        monkeypatch.setattr(ScanIndex, "save", refuse)
+        assert main(["update", str(artifact), str(delta)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot save updated artifact" in err
+        assert "Traceback" not in err
+
+
 class TestArtifactErrorReporting:
     """Missing/corrupt artifacts are operator errors: message, not traceback."""
 
@@ -149,6 +228,7 @@ class TestArtifactErrorReporting:
         ["cluster", "--load", "{path}"],
         ["index", "query", "{path}"],
         ["serve", "{path}", "--requests", "/dev/null"],
+        ["update", "{path}", "/dev/null"],
     ])
     def test_missing_artifact_path(self, command, tmp_path, capsys):
         missing = tmp_path / "nowhere.scanidx"

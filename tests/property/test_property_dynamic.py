@@ -1,0 +1,115 @@
+"""Property tests for the dynamic-update subsystem.
+
+Two properties over randomized mixed insert/delete streams:
+
+1. **Bit-identity under evolution.**  After every batch of a random stream,
+   the patched index's stored columns equal a from-scratch rebuild on the
+   current edge set, and so do its clusterings for a random parameter grid
+   in both border modes.  This is the subsystem's tentpole invariant -- if
+   any merge position, similarity recompute, numerator delta or edge-id
+   shift is off by one anywhere, some batch of some stream breaks it.
+
+2. **No generation mixing across updates.**  A serving session that stays
+   open while its index is mutated must never serve a pre-update cache
+   entry afterwards: the first serve after every batch misses, and every
+   answer equals a cold query against the *current* index state.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ScanIndex
+from repro.graphs import from_edge_list, planted_partition
+
+
+def random_stream_batches(rng, graph, num_batches, max_ops):
+    """Generator of (insertions, deletions, edge_set) evolving a graph."""
+    edges = set(zip(*[a.tolist() for a in graph.edge_list()]))
+    n = graph.num_vertices
+    for _ in range(num_batches):
+        current = sorted(edges)
+        num_ops = int(rng.integers(1, max_ops + 1))
+        num_del = min(int(rng.integers(0, num_ops + 1)), len(current))
+        delete_ids = rng.choice(len(current), size=num_del, replace=False)
+        deletions = [current[i] for i in delete_ids]
+        insertions = []
+        while len(insertions) < num_ops - num_del:
+            u, v = sorted(rng.integers(0, n, size=2).tolist())
+            if u == v or (u, v) in edges or (u, v) in insertions:
+                continue
+            insertions.append((u, v))
+        edges = (edges - set(deletions)) | set(insertions)
+        yield insertions, deletions, sorted(edges)
+
+
+@pytest.mark.parametrize("seed,measure", [(0, "cosine"), (1, "jaccard"), (2, "dice")])
+def test_patched_index_tracks_rebuild_through_random_streams(seed, measure):
+    rng = np.random.default_rng(seed)
+    graph = planted_partition(4, 15, p_intra=0.4, p_inter=0.04, seed=seed)
+    index = ScanIndex.build(graph, measure=measure)
+    n = graph.num_vertices
+    for insertions, deletions, edges in random_stream_batches(rng, graph, 6, 12):
+        index.apply_updates(insertions=insertions, deletions=deletions)
+        rebuilt = ScanIndex.build(
+            from_edge_list(edges, num_vertices=n), measure=measure
+        )
+        for name, a, b in [
+            ("indptr", index.graph.indptr, rebuilt.graph.indptr),
+            ("indices", index.graph.indices, rebuilt.graph.indices),
+            ("arc_edge_ids", index.graph.arc_edge_ids, rebuilt.graph.arc_edge_ids),
+            ("values", index.similarities.values, rebuilt.similarities.values),
+            ("numerators", index.similarities.numerators,
+             rebuilt.similarities.numerators),
+            ("no_neighbors", index.neighbor_order.neighbors,
+             rebuilt.neighbor_order.neighbors),
+            ("no_similarities", index.neighbor_order.similarities,
+             rebuilt.neighbor_order.similarities),
+            ("co_indptr", index.core_order.indptr, rebuilt.core_order.indptr),
+            ("co_vertices", index.core_order.vertices, rebuilt.core_order.vertices),
+            ("co_thresholds", index.core_order.thresholds,
+             rebuilt.core_order.thresholds),
+        ]:
+            assert np.array_equal(np.asarray(a), np.asarray(b)), name
+        for _ in range(4):
+            mu = int(rng.integers(2, 8))
+            epsilon = float(rng.uniform(0.0, 1.0))
+            for det in (False, True):
+                ours = index.query(mu, epsilon, deterministic_borders=det)
+                theirs = rebuilt.query(mu, epsilon, deterministic_borders=det)
+                assert np.array_equal(ours.labels, theirs.labels), (mu, epsilon, det)
+                assert np.array_equal(ours.core_mask, theirs.core_mask)
+
+
+def test_served_results_never_mix_generations_across_updates():
+    rng = np.random.default_rng(42)
+    graph = planted_partition(3, 18, p_intra=0.5, p_inter=0.04, seed=9)
+    index = ScanIndex.build(graph)
+    session = index.session(cache_size=16)
+    other = index.session(cache_size=16, cache=session.cache)
+    requests = [(2, 0.35), (3, 0.5), (2, 0.35), (5, 0.65)]
+    for mu, epsilon in requests:
+        session.serve(mu, epsilon)
+
+    for insertions, deletions, edges in random_stream_batches(rng, graph, 4, 6):
+        index.apply_updates(insertions=insertions, deletions=deletions)
+        rebuilt = ScanIndex.build(
+            from_edge_list(edges, num_vertices=graph.num_vertices)
+        )
+        for position, (mu, epsilon) in enumerate(requests):
+            served = session.serve(mu, epsilon)
+            if position == 0:
+                # The very first serve after a mutation can never hit: the
+                # generation the old entries were keyed under is gone.
+                assert not served.from_cache
+            cold = rebuilt.query(mu, epsilon)
+            assert np.array_equal(served.to_clustering().labels, cold.labels)
+            # A sibling session sharing the cache serves the same state.
+            sibling = other.serve(mu, epsilon)
+            assert np.array_equal(sibling.to_clustering().labels, cold.labels)
+        # Sweeps through the same session agree with the current state too.
+        for clustering, (mu, epsilon) in zip(
+            session.query_many(requests), requests
+        ):
+            assert np.array_equal(
+                clustering.labels, rebuilt.query(mu, epsilon).labels
+            )
