@@ -1,0 +1,404 @@
+"""Multicore construction benchmark: process-parallel builds + radix order sorts.
+
+Not a figure of the paper -- this tracks the repo's construction trajectory
+along the two axes PR 5 opened:
+
+* **wall-clock scaling**: ``ScanIndex.build`` executed serially vs through
+  the real execution layer (``repro.parallel.execute``) at jobs={2, 4, 8},
+  with bit-identity of every stored column re-verified per cell (the
+  determinism contract: any worker count, same index);
+* **order-build strategy**: the packed segmented permutation behind both
+  index orders timed under both strategies -- the stable int64 argsort and
+  the radix digit chain of Section 4.1.2 -- on the *actual* pre-sort arrays
+  of each rung (captured from the build itself), alongside what ``"auto"``
+  picks.
+
+The environment block records what the scaling numbers mean on this
+machine: the visible core count (a 1-core container cannot show a real
+speedup; the JSON says so instead of pretending), the measured worker-pool
+startup cost, and the serial-fallback size floor derived from it
+(``PARALLEL_FLOOR_ARCS``).  Results accumulate in
+``BENCH_construction.json`` next to the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_construction.py            # full ladder
+    PYTHONPATH=src python benchmarks/bench_construction.py --smoke    # CI smoke run
+
+or through pytest (smoke-sized, asserts bit-identity)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_construction.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ScanIndex
+from repro.bench import format_table
+from repro.graphs import from_edge_list, planted_partition
+from repro.parallel import execute
+from repro.parallel.execute import PARALLEL_FLOOR_ARCS, ParallelExecutor
+from repro.parallel.sorting import (
+    pack_segment_keys,
+    packed_argsort,
+    radix_eligible,
+    radix_passes,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_construction.json"
+
+#: Worker counts measured against the serial build.
+DEFAULT_JOBS = (2, 4, 8)
+SMOKE_JOBS = (2,)
+
+#: Best-of-N timing (construction is the expensive side; keep N small).
+TIMING_REPEATS = 2
+
+
+def _with_hubs(graph_edges: np.ndarray, num_vertices: int, num_hubs: int,
+               hub_degree: int, seed: int) -> np.ndarray:
+    """Append ``num_hubs`` high-degree hubs to an edge list (orkut-style tail).
+
+    Hub neighbor segments are thousands of entries deep -- the regime where
+    the radix chain beats timsort on the neighbor-order sort too, not just
+    on the long per-mu core-order segments.
+    """
+    rng = np.random.default_rng(seed)
+    pieces = [graph_edges]
+    total = num_vertices + num_hubs
+    for hub_index in range(num_hubs):
+        hub = num_vertices + hub_index
+        spokes = rng.choice(num_vertices, size=hub_degree, replace=False)
+        pieces.append(np.stack(
+            [np.minimum(spokes, hub), np.maximum(spokes, hub)], axis=1
+        ))
+    edges = np.concatenate(pieces)
+    return edges, total
+
+
+def _fig5_style_ladder() -> list:
+    """(name, loader) rungs shaped like the Figure-5 dataset stand-ins."""
+
+    def pp(clusters, size, p_intra, p_inter, seed):
+        return lambda: planted_partition(
+            clusters, size, p_intra=p_intra, p_inter=p_inter, seed=seed
+        )
+
+    def hubbed():
+        base = planted_partition(30, 120, p_intra=0.25, p_inter=0.002, seed=21)
+        edge_u, edge_v = base.edge_list()
+        edges, total = _with_hubs(
+            np.stack([edge_u, edge_v], axis=1), base.num_vertices,
+            num_hubs=6, hub_degree=3000, seed=22,
+        )
+        return from_edge_list(edges, num_vertices=total)
+
+    return [
+        # Below the serial-fallback floor on purpose: this rung documents
+        # the degradation path (jobs > 1 must still be bit-identical while
+        # executing serially).
+        ("orkut-like-floor", pp(30, 80, 0.25, 0.002, 5)),
+        ("orkut-like-mid", pp(40, 150, 0.25, 0.002, 5)),
+        # Hub tail: neighbor-order segments thousands deep.
+        ("webbase-like-hubs", hubbed),
+        # The largest rung; carries the scaling acceptance bar.
+        ("orkut-like-large", pp(60, 200, 0.30, 0.0015, 5)),
+    ]
+
+
+SMOKE_LADDER_NAME = "smoke"
+
+
+def _smoke_ladder() -> list:
+    return [(SMOKE_LADDER_NAME, lambda: planted_partition(
+        12, 40, p_intra=0.35, p_inter=0.01, seed=7
+    ))]
+
+
+# ----------------------------------------------------------------------
+# Capture of the real order-sort inputs
+# ----------------------------------------------------------------------
+class _SortRecorder:
+    """Record the (offsets, keys) of the two order sorts of one build."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def install(self) -> list:
+        import repro.core.core_order as core_order_module
+        import repro.core.neighbor_order as neighbor_order_module
+
+        originals = []
+        for module in (neighbor_order_module, core_order_module):
+            original = module.segmented_sort_by_key
+            originals.append((module, original))
+
+            def wrapper(scheduler, offsets, values, keys, *, _original=original,
+                        **kwargs):
+                self.calls.append((np.asarray(offsets).copy(), np.asarray(keys).copy()))
+                return _original(scheduler, offsets, values, keys, **kwargs)
+
+            module.segmented_sort_by_key = wrapper
+        return originals
+
+    @staticmethod
+    def restore(originals) -> None:
+        for module, original in originals:
+            module.segmented_sort_by_key = original
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure_order_strategies(recorder: _SortRecorder) -> list[dict]:
+    """Time argsort vs radix on the captured pre-sort arrays."""
+    results = []
+    for label, (offsets, keys) in zip(("NO", "CO"), recorder.calls):
+        packing = pack_segment_keys(offsets, keys, descending=True)
+        if packing is None:
+            continue
+        packed, universe, max_segment = packing
+        if packed.size == 0:
+            continue
+        passes = radix_passes(universe)
+        auto = (
+            "radix"
+            if radix_eligible(int(packed.shape[0]), universe, max_segment)
+            else "argsort"
+        )
+        argsort_seconds = _best_of(lambda: packed_argsort(
+            packed, universe=universe, max_segment=max_segment, strategy="argsort"
+        ))
+        radix_seconds = _best_of(lambda: packed_argsort(
+            packed, universe=universe, max_segment=max_segment, strategy="radix"
+        ))
+        results.append({
+            "order": label,
+            "entries": int(packed.shape[0]),
+            "max_segment": max_segment,
+            "digit_passes": passes,
+            "auto_strategy": auto,
+            "argsort_seconds": argsort_seconds,
+            "radix_seconds": radix_seconds,
+            "radix_speedup": argsort_seconds / max(radix_seconds, 1e-12),
+        })
+    return results
+
+
+# ----------------------------------------------------------------------
+# Build measurements
+# ----------------------------------------------------------------------
+def _indexes_identical(a: ScanIndex, b: ScanIndex) -> bool:
+    pairs = [
+        (a.similarities.values, b.similarities.values),
+        (a.similarities.numerators, b.similarities.numerators),
+        (a.neighbor_order.neighbors, b.neighbor_order.neighbors),
+        (a.neighbor_order.similarities, b.neighbor_order.similarities),
+        (a.core_order.indptr, b.core_order.indptr),
+        (a.core_order.vertices, b.core_order.vertices),
+        (a.core_order.thresholds, b.core_order.thresholds),
+    ]
+    return all(
+        (left is None and right is None)
+        or np.array_equal(np.asarray(left), np.asarray(right))
+        for left, right in pairs
+    )
+
+
+def measure_pool_startup() -> float | None:
+    """Fork + first-dispatch + teardown cost of a two-worker pool.
+
+    ``None`` on platforms without shared memory -- the same degradation
+    path the library takes, recorded instead of crashed on.
+    """
+    if not execute.shared_memory_available():  # pragma: no cover - platform
+        return None
+    started = time.perf_counter()
+    with ParallelExecutor(2) as executor:
+        executor.segmented_argsort(
+            np.arange(8, dtype=np.int64),
+            np.array([0, 4, 8], dtype=np.int64),
+            universe=8,
+            max_segment=4,
+        )
+    return time.perf_counter() - started
+
+
+def bench_graph(name: str, loader, jobs_grid) -> dict:
+    graph = loader()
+    recorder = _SortRecorder()
+    originals = recorder.install()
+    try:
+        serial = ScanIndex.build(graph)
+    finally:
+        _SortRecorder.restore(originals)
+    serial_seconds = _best_of(lambda: ScanIndex.build(graph), TIMING_REPEATS)
+
+    jobs_rows = []
+    for jobs in jobs_grid:
+        parallel_executed = (
+            execute.shared_memory_available()
+            and graph.num_arcs >= execute.PARALLEL_FLOOR_ARCS
+        )
+        built = {}
+
+        def build():
+            built["index"] = ScanIndex.build(graph, jobs=jobs)
+
+        seconds = _best_of(build, TIMING_REPEATS)
+        jobs_rows.append({
+            "jobs": jobs,
+            "seconds": seconds,
+            "speedup": serial_seconds / max(seconds, 1e-12),
+            "parallel_executed": parallel_executed,
+            "identical": _indexes_identical(serial, built["index"]),
+        })
+
+    return {
+        "name": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_arcs": graph.num_arcs,
+        "max_degree": graph.max_degree,
+        "serial_seconds": serial_seconds,
+        "jobs": jobs_rows,
+        "order_microbench": _measure_order_strategies(recorder),
+    }
+
+
+def run(ladder, jobs_grid, output: Path | None) -> dict:
+    graphs = [bench_graph(name, loader, jobs_grid) for name, loader in ladder]
+    results = {
+        "benchmark": "construction",
+        "environment": {
+            # The affinity-mask count (what jobs=0 resolves to), not the
+            # host's core count -- a cgroup-pinned container must not
+            # pretend its host's cores are available.
+            "cpu_count": execute.visible_cpu_count(),
+            "pool_startup_seconds": measure_pool_startup(),
+            "parallel_floor_arcs": PARALLEL_FLOOR_ARCS,
+            "shared_memory_available": execute.shared_memory_available(),
+        },
+        "graphs": graphs,
+    }
+    rows = [
+        [
+            record["name"],
+            record["num_arcs"],
+            round(record["serial_seconds"] * 1e3, 1),
+            cell["jobs"],
+            round(cell["seconds"] * 1e3, 1),
+            round(cell["speedup"], 2),
+            "pool" if cell["parallel_executed"] else "serial-fallback",
+            "yes" if cell["identical"] else "NO",
+        ]
+        for record in graphs
+        for cell in record["jobs"]
+    ]
+    print(format_table(
+        ["graph", "arcs", "serial_ms", "jobs", "jobs_ms", "speedup",
+         "execution", "identical"],
+        rows,
+    ))
+    micro_rows = [
+        [
+            record["name"],
+            cell["order"],
+            cell["entries"],
+            cell["max_segment"],
+            cell["digit_passes"],
+            cell["auto_strategy"],
+            round(cell["argsort_seconds"] * 1e3, 2),
+            round(cell["radix_seconds"] * 1e3, 2),
+            round(cell["radix_speedup"], 2),
+        ]
+        for record in graphs
+        for cell in record["order_microbench"]
+    ]
+    print(format_table(
+        ["graph", "order", "entries", "max_seg", "passes", "auto",
+         "argsort_ms", "radix_ms", "radix_speedup"],
+        micro_rows,
+    ))
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    return results
+
+
+def test_construction_smoke(tmp_path, monkeypatch):
+    """Smoke run: the pool path executes and stays bit-identical to serial."""
+    monkeypatch.setattr(execute, "PARALLEL_FLOOR_ARCS", 0)
+    results = run(_smoke_ladder(), SMOKE_JOBS, tmp_path / "BENCH_construction.json")
+    assert (tmp_path / "BENCH_construction.json").exists()
+    for record in results["graphs"]:
+        for cell in record["jobs"]:
+            assert cell["identical"], "parallel build diverged from serial"
+            assert cell["parallel_executed"]
+        for cell in record["order_microbench"]:
+            assert cell["radix_speedup"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized rung, jobs=2 only, no size floor")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        execute.PARALLEL_FLOOR_ARCS = 0
+        results = run(_smoke_ladder(), SMOKE_JOBS, args.output)
+    else:
+        results = run(_fig5_style_ladder(), DEFAULT_JOBS, args.output)
+
+    failed = False
+    for record in results["graphs"]:
+        for cell in record["jobs"]:
+            if not cell["identical"]:
+                print(f"ERROR: jobs={cell['jobs']} build of {record['name']} "
+                      "diverged from the serial build")
+                failed = True
+    if not args.smoke:
+        # The radix strategy must win where auto picks it (the long-segment
+        # sorts); a regression here silently slows every large build.
+        for record in results["graphs"]:
+            for cell in record["order_microbench"]:
+                if cell["auto_strategy"] == "radix" and cell["radix_speedup"] < 1.1:
+                    print(f"ERROR: auto picked radix on {record['name']}/"
+                          f"{cell['order']} but it only ran "
+                          f"{cell['radix_speedup']:.2f}x vs argsort")
+                    failed = True
+        # The jobs=4 scaling bar only means something with >= 4 cores; on
+        # smaller machines the JSON records the honest (≈1x or worse)
+        # numbers and the environment block explains why.
+        cores = results["environment"]["cpu_count"] or 1
+        if cores >= 4:
+            largest = max(results["graphs"], key=lambda record: record["num_arcs"])
+            by_jobs = {cell["jobs"]: cell for cell in largest["jobs"]}
+            if 4 in by_jobs and by_jobs[4]["speedup"] < 2.0:
+                print(f"ERROR: jobs=4 speedup {by_jobs[4]['speedup']:.2f}x on "
+                      f"{largest['name']} fell below the 2x bar "
+                      f"({cores} cores visible)")
+                failed = True
+        else:
+            print(f"note: only {cores} core(s) visible; the jobs=4 >= 2x "
+                  "scaling bar is recorded but not enforced on this machine")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -179,7 +179,11 @@ def _command_index_build(args: argparse.Namespace) -> int:
             measure=args.measure, num_samples=args.approx_samples, seed=args.seed
         )
     index = ScanIndex.build(
-        graph, measure=args.measure, backend=args.backend, approximate=approximate
+        graph,
+        measure=args.measure,
+        backend=args.backend,
+        approximate=approximate,
+        jobs=args.jobs,
     )
     path = index.save(args.artifact)
     report = index.construction_report
@@ -234,7 +238,7 @@ def _command_update(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        report = index.apply_updates(batch)
+        report = index.apply_updates(batch, jobs=args.jobs)
     except ValueError as error:
         # A delta that does not fit the artifact (edge already present /
         # absent, out-of-range vertex, LSH index) is an operator mistake.
@@ -381,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="approximate similarities with this many LSH samples")
     index_build.add_argument("--seed", type=int, default=0,
                              help="seed of the LSH sketching randomness")
+    index_build.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the construction hot "
+                                  "spots (0 = all cores; default 1 = serial; "
+                                  "any count builds a bit-identical index)")
     index_build.set_defaults(handler=_command_index_build)
 
     index_query = index_subparsers.add_parser(
@@ -402,6 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("delta", help="delta file: '+ u v [weight]' inserts, '- u v' deletes")
     update.add_argument("--output", metavar="ARTIFACT", default=None,
                         help="write the patched artifact here instead of in place")
+    update.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the high-churn re-sort "
+                             "fallback (0 = all cores; default 1 = serial)")
     update.set_defaults(handler=_command_update)
 
     serve = subparsers.add_parser(

@@ -94,13 +94,17 @@ def build_core_order(
     *,
     scheduler: Scheduler | None = None,
     use_integer_sort: bool = True,
+    executor=None,
 ) -> CoreOrder:
     """Construct the core order from the neighbor order (Algorithm 2).
 
     For μ ranging over ``2 .. max closed degree``, the member list of μ is the
     set of vertices with degree at least ``μ - 1``; it is located by doubling
     search on the degree-sorted vertex array, and every member's threshold is
-    read off the neighbor order in O(1).
+    read off the neighbor order in O(1).  ``executor`` shards the global
+    segmented sort across worker processes (see
+    :mod:`repro.parallel.execute`); the stored order is bit-identical at any
+    worker count.
     """
     scheduler = scheduler if scheduler is not None else Scheduler()
     n = graph.num_vertices
@@ -165,6 +169,7 @@ def build_core_order(
         keys,
         descending=True,
         use_integer_sort=use_integer_sort,
+        executor=executor,
     )
     return CoreOrder(
         indptr=indptr,

@@ -58,8 +58,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from ..graphs.graph import Graph
 from ..lsh.approximate import ApproximationConfig, compute_approximate_similarities
+from ..parallel.execute import executor_for
 from ..parallel.metrics import CostReport
 from ..parallel.scheduler import PAPER_NUM_THREADS, Scheduler
 from ..similarity.exact import EdgeSimilarities, compute_similarities
@@ -113,6 +116,7 @@ class ScanIndex:
         use_integer_sort: bool = True,
         num_workers: int = PAPER_NUM_THREADS,
         scheduler: Scheduler | None = None,
+        jobs: int = 1,
     ) -> "ScanIndex":
         """Build the index, computing similarities from scratch.
 
@@ -133,36 +137,52 @@ class ScanIndex:
         use_integer_sort:
             Sort the orders with the integer-sort bounds of Section 4.1.2.
         num_workers:
-            Simulated processor count recorded on the scheduler.
+            *Simulated* processor count recorded on the scheduler (work-span
+            accounting only; does not change how code executes).
         scheduler:
             Externally owned scheduler for cost accounting; a fresh one is
             created when omitted.
+        jobs:
+            *Real* worker processes for the construction hot spots (the
+            batch similarity pass and both segmented order sorts), executed
+            through :mod:`repro.parallel.execute` over shared-memory
+            columns.  ``1`` (default) is the serial code path, ``0`` means
+            every visible core, and any count produces a bit-identical
+            index.  Falls back to serial -- warning once -- when shared
+            memory is unavailable or the graph is below the measured size
+            floor where pool startup dominates.
         """
         scheduler = scheduler if scheduler is not None else Scheduler(num_workers)
         started = time.perf_counter()
-        if approximate is not None:
-            if approximate.measure != measure:
-                approximate = ApproximationConfig(
-                    measure=measure,
-                    num_samples=approximate.num_samples,
-                    seed=approximate.seed,
-                    use_k_partition_minhash=approximate.use_k_partition_minhash,
-                    degree_threshold=approximate.degree_threshold,
+        with executor_for(jobs, num_arcs=graph.num_arcs) as executor:
+            if approximate is not None:
+                if approximate.measure != measure:
+                    approximate = ApproximationConfig(
+                        measure=measure,
+                        num_samples=approximate.num_samples,
+                        seed=approximate.seed,
+                        use_k_partition_minhash=approximate.use_k_partition_minhash,
+                        degree_threshold=approximate.degree_threshold,
+                    )
+                similarities = compute_approximate_similarities(
+                    graph, approximate, scheduler=scheduler
                 )
-            similarities = compute_approximate_similarities(
-                graph, approximate, scheduler=scheduler
+            else:
+                similarities = compute_similarities(
+                    graph,
+                    measure=measure,
+                    backend=backend,
+                    scheduler=scheduler,
+                    executor=executor,
+                )
+            return cls.build_from_similarities(
+                graph,
+                similarities,
+                use_integer_sort=use_integer_sort,
+                scheduler=scheduler,
+                _started=started,
+                _executor=executor,
             )
-        else:
-            similarities = compute_similarities(
-                graph, measure=measure, backend=backend, scheduler=scheduler
-            )
-        return cls.build_from_similarities(
-            graph,
-            similarities,
-            use_integer_sort=use_integer_sort,
-            scheduler=scheduler,
-            _started=started,
-        )
 
     @classmethod
     def build_from_similarities(
@@ -172,17 +192,37 @@ class ScanIndex:
         *,
         use_integer_sort: bool = True,
         scheduler: Scheduler | None = None,
+        jobs: int = 1,
         _started: float | None = None,
+        _executor=None,
     ) -> "ScanIndex":
-        """Build the index from similarity scores computed elsewhere."""
+        """Build the index from similarity scores computed elsewhere.
+
+        ``jobs`` shards the two segmented order sorts across worker
+        processes exactly as in :meth:`build` (``_executor`` lets an already
+        open executor be reused instead).
+        """
         scheduler = scheduler if scheduler is not None else Scheduler()
         started = time.perf_counter() if _started is None else _started
-        neighbor_order = build_neighbor_order(
-            graph, similarities, scheduler=scheduler, use_integer_sort=use_integer_sort
-        )
-        core_order = build_core_order(
-            graph, neighbor_order, scheduler=scheduler, use_integer_sort=use_integer_sort
-        )
+        if _executor is not None:
+            executor_context = nullcontext(_executor)
+        else:
+            executor_context = executor_for(jobs, num_arcs=graph.num_arcs)
+        with executor_context as executor:
+            neighbor_order = build_neighbor_order(
+                graph,
+                similarities,
+                scheduler=scheduler,
+                use_integer_sort=use_integer_sort,
+                executor=executor,
+            )
+            core_order = build_core_order(
+                graph,
+                neighbor_order,
+                scheduler=scheduler,
+                use_integer_sort=use_integer_sort,
+                executor=executor,
+            )
         elapsed = time.perf_counter() - started
         report = CostReport.from_counter(
             label=f"index-construction[{similarities.measure}]",
@@ -325,6 +365,7 @@ class ScanIndex:
         insertions=None,
         deletions=None,
         scheduler: Scheduler | None = None,
+        jobs: int = 1,
     ):
         """Apply a batch of edge insertions/deletions **in place**.
 
@@ -352,6 +393,11 @@ class ScanIndex:
             Iterable of ``(u, v)`` edges to remove.
         scheduler:
             Work-span accounting target; a fresh one is used when omitted.
+        jobs:
+            Real worker processes for the high-churn construction-path
+            re-sort fallback (same knob and same bit-identity contract as
+            :meth:`build`; the low-churn merge strategy is memory-bound and
+            stays serial).
 
         Returns an :class:`~repro.dynamic.UpdateReport`.  Raises
         ``ValueError`` for LSH-approximate indexes, edges already present
@@ -366,7 +412,7 @@ class ScanIndex:
             raise ValueError(
                 "pass either a prepared batch or insertions/deletions lists, not both"
             )
-        return _apply_updates(self, batch, scheduler=scheduler)
+        return _apply_updates(self, batch, scheduler=scheduler, jobs=jobs)
 
     # ------------------------------------------------------------------
     # Persistence (the storage/ subsystem seam)

@@ -104,13 +104,16 @@ def build_neighbor_order(
     *,
     scheduler: Scheduler | None = None,
     use_integer_sort: bool = True,
+    executor=None,
 ) -> NeighborOrder:
     """Construct the neighbor order from precomputed edge similarities.
 
     ``use_integer_sort`` applies the rational-to-integer quantisation of
     Section 4.1.2 so the cheaper integer-sort bound is charged; the resulting
     order is identical because the quantisation is order-preserving at the
-    resolution used.
+    resolution used.  ``executor`` shards the segmented sort across worker
+    processes (see :mod:`repro.parallel.execute`); the stored order is
+    bit-identical at any worker count.
     """
     scheduler = scheduler if scheduler is not None else Scheduler()
     arc_similarities = similarities.arc_values()
@@ -128,6 +131,7 @@ def build_neighbor_order(
         keys,
         descending=True,
         use_integer_sort=use_integer_sort,
+        executor=executor,
     )
     return NeighborOrder(
         indptr=graph.indptr.copy(),

@@ -720,7 +720,11 @@ def _patch_core_order(
 # The public entry point
 # ----------------------------------------------------------------------
 def apply_updates(
-    index, batch: UpdateBatch, *, scheduler: Scheduler | None = None
+    index,
+    batch: UpdateBatch,
+    *,
+    scheduler: Scheduler | None = None,
+    jobs: int = 1,
 ) -> UpdateReport:
     """Apply ``batch`` to ``index`` **in place**, repairing every component.
 
@@ -736,6 +740,13 @@ def apply_updates(
     bumped and every serving generation bound to it is invalidated, so all
     open :class:`~repro.serve.session.ClusterSession`\\ s stop serving
     pre-update cache entries (see ``docs/ARCHITECTURE.md``).
+
+    ``jobs`` applies only past the churn crossover, where the repair runs
+    the construction-path segmented re-sorts: those shard across worker
+    processes exactly as :meth:`ScanIndex.build
+    <repro.core.index.ScanIndex.build>` does (bit-identical at any worker
+    count).  The merge strategy below the crossover is memory-bound
+    splicing and stays serial.
 
     Raises ``ValueError`` for LSH-approximate indexes (sketches are global;
     no localized recompute can reproduce a rebuild), for insertions of
@@ -856,10 +867,15 @@ def apply_updates(
     changed_arcs = int(np.count_nonzero(changed_arc_mask))
     if changed_arcs > ORDER_REBUILD_CHURN * max(new_graph.num_arcs, 1):
         order_strategy = "resort"
-        neighbor_order = build_neighbor_order(
-            new_graph, similarities, scheduler=scheduler
-        )
-        core_order = build_core_order(new_graph, neighbor_order, scheduler=scheduler)
+        from ..parallel.execute import executor_for
+
+        with executor_for(jobs, num_arcs=new_graph.num_arcs) as executor:
+            neighbor_order = build_neighbor_order(
+                new_graph, similarities, scheduler=scheduler, executor=executor
+            )
+            core_order = build_core_order(
+                new_graph, neighbor_order, scheduler=scheduler, executor=executor
+            )
     else:
         order_strategy = "merge"
         neighbor_order = _patch_neighbor_order(
@@ -899,6 +915,7 @@ def apply_updates(
             "cancelled": report.cancelled,
             "affected_edges": report.affected_edges,
             "affected_vertices": report.affected_vertices,
+            "order_strategy": report.order_strategy,
         }
     )
     from ..serve.session import invalidate_index_generations

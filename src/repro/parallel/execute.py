@@ -1,0 +1,449 @@
+"""Real multicore execution: worker processes over shared-memory columns.
+
+Everything else in :mod:`repro.parallel` is the *simulated* runtime: the
+:class:`~repro.parallel.scheduler.Scheduler` executes sequentially and
+charges work/span so the paper's asymptotic claims are testable.  This
+module is the other half the paper actually ran on 96 hyper-threads: a
+``multiprocessing`` pool whose workers operate directly on
+``multiprocessing.shared_memory``-backed numpy columns -- the arc arrays are
+mapped, never pickled -- so index construction uses the machine's cores for
+wall-clock time, not just for accounting.
+
+Two construction stages shard:
+
+* **the edge-similarity pass** (:meth:`ParallelExecutor.sharded_numerators`):
+  the oriented arcs split into contiguous ranges balanced by candidate-pair
+  counts; each worker accumulates its range's triangle contributions into a
+  private output column and the master sums the columns in shard order.
+  Restricted to unweighted graphs, where every contribution is a bounded
+  integer and float64 addition is exact in any order -- which is what makes
+  the merged result **bit-identical** to the serial accumulation.  Weighted
+  graphs keep the serial similarity pass (float summation order would
+  differ) while their order builds still shard.
+* **the segmented order sorts** (:meth:`ParallelExecutor.segmented_argsort`):
+  the packed ``(segment, key)`` codes split along segment boundaries; each
+  worker computes the stable permutation of its slice.  Packed codes of
+  earlier segments are strictly smaller than those of later segments, so the
+  concatenation of per-shard stable sorts *is* the global stable sort --
+  bit-identical by construction, for every strategy of
+  :func:`~repro.parallel.sorting.packed_argsort`.
+
+The determinism/merge contract, in one line: **shard boundaries are pure
+functions of the input, every worker's output is deterministic, and merges
+are exact (integer sums / disjoint writes) -- so the built index is
+bit-identical to the serial build for every stored column, at any worker
+count.**  Property tests in ``tests/parallel/test_execute.py`` enforce it.
+
+Degradation is graceful and loud exactly once: ``jobs > 1`` falls back to
+serial execution -- with a single :class:`RuntimeWarning` per reason -- when
+``multiprocessing.shared_memory`` is unavailable on the platform or the
+graph sits below :data:`PARALLEL_FLOOR_ARCS`, the measured size floor under
+which pool startup dominates any possible win (recorded alongside the
+scaling numbers in ``BENCH_construction.json``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised via monkeypatching
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+from .sorting import packed_argsort
+
+__all__ = [
+    "PARALLEL_FLOOR_ARCS",
+    "ParallelExecutor",
+    "executor_for",
+    "resolve_jobs",
+    "shared_memory_available",
+    "visible_cpu_count",
+]
+
+#: Arc-count floor under which ``jobs > 1`` silently stays serial (after one
+#: warning): forking the pool plus exporting/attaching the shared columns
+#: costs ~25-80 ms (measured, ``BENCH_construction.json`` records the pool
+#: startup of the benchmarking machine), which a serial build below this
+#: size finishes outright.
+PARALLEL_FLOOR_ARCS = 65_536
+
+#: Upper bound on similarity-pass shards regardless of ``jobs``.  Every
+#: shard owns a private ``num_edges`` float64 accumulation column, so the
+#: slab grows linearly with the shard count -- at 96 workers on an
+#: orkut-scale graph that would be tens of gigabytes of /dev/shm for a pass
+#: that is memory-bandwidth bound long before then.  Sixteen concurrent
+#: accumulators keep the slab at 16 columns while the order sorts (whose
+#: shards are slices, not columns) still use every worker.
+MAX_NUMERATOR_SHARDS = 16
+
+#: Reasons already warned about (one warning per reason per process).
+_warned: set[str] = set()
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is importable."""
+    return _shared_memory is not None
+
+
+def visible_cpu_count() -> int:
+    """Cores this process may actually schedule on.
+
+    ``os.cpu_count()`` reports the host's cores and ignores CPU affinity
+    and cgroup pinning; inside a container limited to 2 of 64 cores it
+    would fork 64 workers that timeshare 2.  The affinity mask is the
+    honest count where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Resolve the public ``jobs`` knob: ``0`` means every visible core."""
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if jobs == 0:
+        return visible_cpu_count()
+    return jobs
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _warned:
+        _warned.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def executor_for(jobs: int, *, num_arcs: int):
+    """Context manager yielding a :class:`ParallelExecutor`, or ``None``.
+
+    The serial outcomes -- ``jobs`` resolving to 1, shared memory being
+    unavailable, or the graph sitting below :data:`PARALLEL_FLOOR_ARCS` --
+    yield ``None`` so callers take the *identical* serial code path; the
+    latter two warn once per process.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return nullcontext(None)
+    if not shared_memory_available():  # pragma: no cover - platform dependent
+        _warn_once(
+            "shared-memory",
+            "multiprocessing.shared_memory is unavailable on this platform; "
+            f"jobs={jobs} falls back to serial execution",
+        )
+        return nullcontext(None)
+    if num_arcs < PARALLEL_FLOOR_ARCS:
+        _warn_once(
+            "size-floor",
+            f"graph below the parallel size floor ({PARALLEL_FLOOR_ARCS} arcs, "
+            "where worker-pool startup dominates any speedup); "
+            f"jobs={jobs} falls back to serial execution",
+        )
+        return nullcontext(None)
+    return ParallelExecutor(jobs)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory column plumbing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedColumn:
+    """Name/shape/dtype triple a worker needs to map one shared column."""
+
+    shm_name: str
+    shape: tuple
+    dtype: str
+
+
+def _attach(spec: SharedColumn):
+    """Worker-side map of a shared column; caller must close the handle."""
+    handle = _shared_memory.SharedMemory(name=spec.shm_name)
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+    return handle, array
+
+
+class _ColumnSet:
+    """Master-side owner of the shared blocks of one pool dispatch."""
+
+    def __init__(self) -> None:
+        self._handles: list = []
+
+    def share(self, array: np.ndarray) -> SharedColumn:
+        """Copy ``array`` into a fresh shared block and return its spec."""
+        array = np.ascontiguousarray(array)
+        handle = _shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        self._handles.append(handle)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=handle.buf)
+        view[...] = array
+        return SharedColumn(handle.name, tuple(array.shape), array.dtype.str)
+
+    def allocate(self, shape: tuple, dtype) -> tuple[SharedColumn, np.ndarray]:
+        """Zero-filled shared output block plus the master's view of it."""
+        dtype = np.dtype(dtype)
+        size = max(int(np.prod(shape)) * dtype.itemsize, 1)
+        handle = _shared_memory.SharedMemory(create=True, size=size)
+        self._handles.append(handle)
+        view = np.ndarray(shape, dtype=dtype, buffer=handle.buf)
+        view[...] = 0
+        return SharedColumn(handle.name, tuple(shape), dtype.str), view
+
+    def release(self) -> None:
+        for handle in self._handles:
+            handle.close()
+            handle.unlink()
+        self._handles.clear()
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (top-level so every start method can pickle them)
+# ----------------------------------------------------------------------
+def _sort_worker(
+    packed_spec: SharedColumn,
+    out_spec: SharedColumn,
+    lo: int,
+    hi: int,
+    universe: int,
+    max_segment: int,
+    strategy: str,
+) -> None:
+    """Stable permutation of ``packed[lo:hi]`` written to ``out[lo:hi]``.
+
+    Shards write disjoint slices of one shared output column, so no
+    synchronisation is needed; positions are absolute (offset by ``lo``).
+    """
+    handles = []
+    try:
+        handle, packed = _attach(packed_spec)
+        handles.append(handle)
+        handle, out = _attach(out_spec)
+        handles.append(handle)
+        out[lo:hi] = packed_argsort(
+            packed[lo:hi],
+            universe=universe,
+            max_segment=max_segment,
+            strategy=strategy,
+        )
+        out[lo:hi] += lo
+    finally:
+        for handle in handles:
+            handle.close()
+
+
+def _numerator_worker(
+    column_specs: dict,
+    out_spec: SharedColumn,
+    out_row: int,
+    num_vertices: int,
+    arc_lo: int,
+    arc_hi: int,
+    chunk_pairs: int,
+    probe: str,
+) -> None:
+    """Triangle contributions of oriented arcs ``[arc_lo, arc_hi)``.
+
+    Accumulates into row ``out_row`` of the shared output slab through the
+    exact chunk loop of the serial batch engine
+    (:func:`repro.similarity.batch.accumulate_oriented_contributions`), so
+    every worker's partial column is the integer-valued array the serial
+    pass would have produced for the same arc range.
+    """
+    from ..similarity.batch import accumulate_oriented_contributions
+
+    handles = []
+    try:
+        columns = {}
+        for name, spec in column_specs.items():
+            handle, array = _attach(spec)
+            handles.append(handle)
+            columns[name] = array
+        handle, out = _attach(out_spec)
+        handles.append(handle)
+        accumulate_oriented_contributions(
+            out[out_row],
+            (
+                columns["indptr"],
+                columns["targets"],
+                columns["edge_ids"],
+                columns["weights"],
+            ),
+            columns["sources"],
+            columns.get("comp"),
+            num_vertices,
+            arc_lo,
+            arc_hi,
+            chunk_pairs=chunk_pairs,
+            probe=probe,
+        )
+    finally:
+        for handle in handles:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ParallelExecutor:
+    """A worker pool that executes build stages over shared numpy columns.
+
+    One executor spans one construction (or one dynamic-update re-sort):
+    :meth:`~repro.core.index.ScanIndex.build` opens it, threads it through
+    the similarity engine and both order builds, and closes it -- the pool
+    forks once, every stage's columns are exported to shared memory for the
+    duration of its dispatch, and nothing is pickled but shard bounds.
+
+    Use as a context manager (or rely on :func:`executor_for`, which also
+    applies the serial-fallback gates)::
+
+        with ParallelExecutor(jobs=4) as executor:
+            order = executor.segmented_argsort(packed, offsets, ...)
+    """
+
+    def __init__(self, jobs: int) -> None:
+        jobs = resolve_jobs(jobs)
+        if jobs < 2:
+            raise ValueError(f"ParallelExecutor needs at least 2 jobs, got {jobs}")
+        if not shared_memory_available():  # pragma: no cover - platform dependent
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.jobs = jobs
+        start_methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in start_methods else start_methods[0]
+        self._context = multiprocessing.get_context(method)
+        self._pool = None
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._context.Pool(self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- the segmented order sorts --------------------------------------
+    def segmented_argsort(
+        self,
+        packed: np.ndarray,
+        segment_offsets: np.ndarray,
+        *,
+        universe: int,
+        max_segment: int,
+        strategy: str = "auto",
+    ) -> np.ndarray:
+        """Stable ascending permutation of packed segment/key codes, sharded.
+
+        Shard bounds are element-count quantiles snapped outward to segment
+        boundaries -- a pure function of the input, independent of worker
+        scheduling -- and each shard's stable permutation is computed
+        independently (radix or argsort per ``strategy``; the choice cannot
+        change the permutation).  Because segment blocks are ascending in
+        the packed code space, concatenating the shard permutations equals
+        the global stable permutation bit for bit.
+        """
+        total = int(packed.shape[0])
+        bounds = self._segment_bounds(segment_offsets, total)
+        if total == 0 or bounds.shape[0] <= 2:
+            # Nothing to shard (empty input, or one segment swallowing every
+            # split point): the serial permutation is the same answer.
+            return packed_argsort(
+                packed, universe=universe, max_segment=max_segment, strategy=strategy
+            )
+        columns = _ColumnSet()
+        try:
+            packed_spec = columns.share(packed)
+            out_spec, out = columns.allocate((total,), np.int64)
+            tasks = [
+                (packed_spec, out_spec, int(lo), int(hi), universe, max_segment, strategy)
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            self._ensure_pool().starmap(_sort_worker, tasks)
+            return out.copy()
+        finally:
+            columns.release()
+
+    def _segment_bounds(self, segment_offsets: np.ndarray, total: int) -> np.ndarray:
+        """Shard boundaries: jobs-quantiles snapped to segment starts."""
+        segment_offsets = np.asarray(segment_offsets, dtype=np.int64)
+        targets = (total * np.arange(1, self.jobs, dtype=np.int64)) // self.jobs
+        snapped = segment_offsets[np.searchsorted(segment_offsets, targets)]
+        return np.unique(np.concatenate(
+            [np.zeros(1, dtype=np.int64), snapped, np.asarray([total], dtype=np.int64)]
+        ))
+
+    # -- the edge-similarity pass ---------------------------------------
+    def sharded_numerators(
+        self,
+        graph,
+        *,
+        probe: str,
+        chunk_pairs: int,
+    ) -> np.ndarray | None:
+        """Triangle contributions of every canonical edge (no base term).
+
+        Returns ``None`` when the pass must stay serial: weighted graphs
+        (contributions are float products whose summation order the merge
+        would change) and empty orientations.  Otherwise shards the
+        oriented arcs by candidate-pair counts, lets every worker run the
+        serial chunk loop on its range, and sums the per-worker columns in
+        shard order -- exact, because unweighted contributions are bounded
+        integers.
+        """
+        if graph.edge_weights is not None:
+            return None
+        oriented = graph.degree_oriented_csr()
+        num_oriented = int(oriented.indices.shape[0])
+        num_edges = graph.num_edges
+        if num_oriented == 0 or num_edges == 0:
+            return None
+        pair_counts = np.diff(oriented.indptr)[oriented.indices]
+        cumulative = np.cumsum(pair_counts)
+        total_pairs = int(cumulative[-1])
+        shards = min(self.jobs, MAX_NUMERATOR_SHARDS)
+        targets = (total_pairs * np.arange(1, shards, dtype=np.int64)) // shards
+        cuts = np.searchsorted(cumulative, targets, side="left")
+        bounds = np.unique(np.concatenate(
+            [np.zeros(1, dtype=np.int64), cuts,
+             np.asarray([num_oriented], dtype=np.int64)]
+        ))
+        columns = _ColumnSet()
+        try:
+            specs = {
+                "indptr": columns.share(oriented.indptr),
+                "targets": columns.share(oriented.indices),
+                "edge_ids": columns.share(oriented.edge_ids),
+                "weights": columns.share(oriented.weights),
+                "sources": columns.share(graph.oriented_arc_sources()),
+            }
+            if probe == "global":
+                specs["comp"] = columns.share(graph.oriented_search_keys())
+            num_tasks = int(bounds.shape[0] - 1)
+            out_spec, out = columns.allocate((num_tasks, num_edges), np.float64)
+            tasks = [
+                (specs, out_spec, row, graph.num_vertices, int(lo), int(hi),
+                 chunk_pairs, probe)
+                for row, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
+            ]
+            self._ensure_pool().starmap(_numerator_worker, tasks)
+            # Shard order; integer-valued columns, so the sum is exact and
+            # equal to the serial left-to-right accumulation.
+            return out.sum(axis=0)
+        finally:
+            columns.release()

@@ -139,6 +139,151 @@ def similarity_rank_keys(similarities: np.ndarray) -> np.ndarray:
     return inverse.astype(np.int64)
 
 
+#: Execution strategies for the packed segmented permutation (see
+#: :func:`packed_argsort`).  ``"auto"`` picks by the measured crossover.
+SORT_STRATEGIES = ("auto", "argsort", "radix")
+
+#: Digit width of one radix pass.  numpy's ``kind="stable"`` argsort runs an
+#: O(n) radix sort for integer dtypes of at most 16 bits, so chaining stable
+#: argsorts over 16-bit digits yields an O(passes * n) sort of arbitrarily
+#: wide keys.
+RADIX_DIGIT_BITS = 16
+
+#: ``"auto"`` uses the radix chain only when the packed universe fits in this
+#: many digit passes.  Each pass costs a whole-array digit extraction, an
+#: O(n) radix argsort and a permutation gather; at three or more passes the
+#: packed int64 timsort wins back (measured: 2-pass radix beats it up to
+#: ~2.5x on hub-heavy segments, 3 passes loses ~0.9x).
+RADIX_MAX_PASSES = 2
+
+#: ``"auto"`` requires the longest segment to reach this many entries.
+#: Timsort exploits the segment-run structure of the packed codes (segments
+#: are contiguous ascending blocks): on short uniform segments its galloping
+#: merges beat the radix chain (measured crossover near max-segment ~1024;
+#: see ``BENCH_construction.json``'s order-build microbenchmark per rung).
+RADIX_MIN_MAX_SEGMENT = 1024
+
+#: Below this total the permutation is microseconds either way; skip the
+#: digit-array bookkeeping and keep the single argsort call.
+RADIX_MIN_TOTAL = 4096
+
+
+def radix_passes(universe: int) -> int:
+    """Number of 16-bit digit passes covering packed codes in ``[0, universe)``."""
+    if universe <= 1:
+        return 1
+    bits = int(universe - 1).bit_length()
+    return -(-bits // RADIX_DIGIT_BITS)
+
+
+def radix_eligible(total: int, universe: int, max_segment: int) -> bool:
+    """The measured ``"auto"`` crossover of :func:`packed_argsort`, exposed.
+
+    One definition shared by the sort itself and the benchmarks that report
+    on it (``benchmarks/bench_construction.py``), so the recorded
+    ``auto_strategy`` can never drift from what the build actually runs.
+    """
+    return (
+        total >= RADIX_MIN_TOTAL
+        and max_segment >= RADIX_MIN_MAX_SEGMENT
+        and radix_passes(universe) <= RADIX_MAX_PASSES
+    )
+
+
+def pack_segment_keys(
+    segment_offsets: np.ndarray,
+    keys: np.ndarray,
+    *,
+    descending: bool = True,
+) -> tuple[np.ndarray, int, int] | None:
+    """Single-int64 codes whose ascending stable order is the segmented order.
+
+    The packing behind :func:`segmented_sort_by_key`'s fast path: code =
+    ``segment_id * key_span + shifted_key``, with keys negated first when
+    ``descending``.  Returns ``(packed, universe, max_segment)`` -- the
+    codes, their exclusive upper bound, and the longest segment length (the
+    two inputs of the :func:`radix_eligible` crossover) -- or ``None`` when
+    the packed universe would overflow the int64 headroom, in which case
+    callers fall back to a two-array ``lexsort``.  Benchmarks measure the
+    sort strategies on exactly these codes.
+    """
+    segment_offsets = np.asarray(segment_offsets, dtype=np.int64)
+    keys = np.asarray(keys)
+    lengths = np.diff(segment_offsets)
+    num_segments = int(segment_offsets.shape[0] - 1)
+    sort_keys = -keys if descending else keys
+    if sort_keys.size == 0:
+        return np.zeros(0, dtype=np.int64), 1, 0
+    key_low = int(sort_keys.min())
+    key_span = int(sort_keys.max()) - key_low + 1
+    universe = num_segments * key_span
+    if universe > (1 << 62):
+        return None
+    segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
+    packed = segment_ids * np.int64(key_span) + (sort_keys - np.int64(key_low))
+    return packed, universe, int(lengths.max(initial=0))
+
+
+def _radix_argsort(packed: np.ndarray, universe: int) -> np.ndarray:
+    """Stable ascending permutation of ``packed`` via LSD 16-bit radix passes.
+
+    Equivalent to ``np.argsort(packed, kind="stable")`` for non-negative
+    codes below ``universe`` -- a stable sort permutation is uniquely
+    determined by the key sequence, so the two strategies are bit-identical
+    by construction (property-tested).  Each pass stable-sorts one 16-bit
+    digit, low to high; numpy executes those argsorts with its O(n) integer
+    radix sort.
+    """
+    mask = np.int64((1 << RADIX_DIGIT_BITS) - 1)
+    perm: np.ndarray | None = None
+    for digit_pass in range(radix_passes(universe)):
+        shift = np.int64(digit_pass * RADIX_DIGIT_BITS)
+        digit = ((packed >> shift) & mask).astype(np.uint16)
+        if perm is None:
+            perm = np.argsort(digit, kind="stable")
+        else:
+            perm = perm[np.argsort(digit[perm], kind="stable")]
+    return perm
+
+
+def packed_argsort(
+    packed: np.ndarray,
+    *,
+    universe: int,
+    max_segment: int,
+    strategy: str = "auto",
+) -> np.ndarray:
+    """Stable ascending permutation of packed ``(segment, key)`` codes.
+
+    ``packed`` is the single-array encoding ``segment_id * key_span + key``
+    produced by :func:`segmented_sort_by_key`: non-negative, below
+    ``universe``, with segment blocks contiguous and ascending in input
+    order.  Two interchangeable strategies compute the permutation --
+    ``"argsort"`` (one stable int64 argsort; timsort) and ``"radix"`` (the
+    paper's Section 4.1.2 bounded-integer observation rendered as chained
+    16-bit counting passes, O(n) per pass) -- and ``"auto"`` picks by the
+    measured crossover: radix wins when segments are long (hub-heavy degree
+    distributions, the per-mu core-order lists) and the packed universe
+    fits :data:`RADIX_MAX_PASSES` digit passes; timsort's galloping wins on
+    short uniform segments.  Both strategies return bit-identical
+    permutations (stable-sort uniqueness), so the choice is purely a
+    wall-clock matter; ``BENCH_construction.json`` tracks it per rung.
+    """
+    if strategy not in SORT_STRATEGIES:
+        raise ValueError(
+            f"unknown sort strategy {strategy!r}; expected one of {SORT_STRATEGIES}"
+        )
+    if strategy == "auto":
+        strategy = (
+            "radix"
+            if radix_eligible(int(packed.shape[0]), universe, max_segment)
+            else "argsort"
+        )
+    if strategy == "radix":
+        return _radix_argsort(packed, universe)
+    return np.argsort(packed, kind="stable")
+
+
 def sort_by_key(
     scheduler: Scheduler,
     values: np.ndarray,
@@ -171,6 +316,8 @@ def segmented_sort_by_key(
     *,
     descending: bool = True,
     use_integer_sort: bool = True,
+    sort_strategy: str = "auto",
+    executor=None,
 ) -> np.ndarray:
     """Sort each segment of a CSR-style array independently by its keys.
 
@@ -179,6 +326,17 @@ def segmented_sort_by_key(
     implements this as a single global sort on (segment id, key) pairs so that
     an integer sort's bounds apply; we charge accordingly and perform the sort
     with a single stable ``lexsort``-style pass.
+
+    When the integer keys pack into one int64 code per entry, the permutation
+    runs through :func:`packed_argsort`, whose ``sort_strategy`` selects
+    between the stable argsort and the radix digit chain (``"auto"`` picks by
+    the measured crossover).  ``executor`` -- a
+    :class:`~repro.parallel.execute.ParallelExecutor` -- shards the packed
+    permutation across real worker processes along segment boundaries; the
+    sharded result is bit-identical to the serial one because packed codes of
+    earlier segments are strictly smaller than those of later segments, so
+    the global stable sort is exactly the concatenation of the per-shard
+    stable sorts.
 
     Returns the values reordered within each segment; segment boundaries are
     unchanged.
@@ -193,8 +351,6 @@ def segmented_sort_by_key(
         raise ValueError("segment_offsets must end at len(values)")
 
     num_segments = int(segment_offsets.shape[0] - 1)
-    lengths = np.diff(segment_offsets)
-    segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
 
     if use_integer_sort:
         loglog = _log_log(max(total, 2))
@@ -205,18 +361,35 @@ def segmented_sort_by_key(
     if total == 0:
         return values.copy()
 
-    sort_keys = -keys if descending else keys
     # Stable sort by (segment, key): primary key is the segment id so segments
     # stay contiguous; the secondary key orders within the segment.  When the
     # key range allows it, the pair is packed into a single int64 so one
-    # stable argsort replaces the two-array lexsort (~2x faster on the hot
-    # index-construction path); ties resolve identically because equal packed
-    # keys are exactly equal (segment, key) pairs and both sorts are stable.
-    if np.issubdtype(sort_keys.dtype, np.integer):
-        key_low = int(sort_keys.min())
-        key_span = int(sort_keys.max()) - key_low + 1
-        if num_segments * key_span <= (1 << 62):
-            packed = segment_ids * np.int64(key_span) + (sort_keys - np.int64(key_low))
-            return values[np.argsort(packed, kind="stable")]
+    # stable permutation pass replaces the two-array lexsort (~2x faster on
+    # the hot index-construction path); ties resolve identically because
+    # equal packed keys are exactly equal (segment, key) pairs and every
+    # strategy is stable.
+    if np.issubdtype(keys.dtype, np.integer):
+        packing = pack_segment_keys(segment_offsets, keys, descending=descending)
+        if packing is not None:
+            packed, universe, max_segment = packing
+            if executor is not None:
+                order = executor.segmented_argsort(
+                    packed,
+                    segment_offsets,
+                    universe=universe,
+                    max_segment=max_segment,
+                    strategy=sort_strategy,
+                )
+            else:
+                order = packed_argsort(
+                    packed,
+                    universe=universe,
+                    max_segment=max_segment,
+                    strategy=sort_strategy,
+                )
+            return values[order]
+    sort_keys = -keys if descending else keys
+    lengths = np.diff(segment_offsets)
+    segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
     order = np.lexsort((sort_keys, segment_ids))
     return values[order]

@@ -75,67 +75,52 @@ def resolve_probe(probe: str, max_segment_length: int) -> str:
     return "global"
 
 
-def batch_numerators(
-    graph: Graph,
-    scheduler: Scheduler,
+def accumulate_oriented_contributions(
+    out: np.ndarray,
+    oriented: tuple,
+    sources: np.ndarray,
+    comp: np.ndarray | None,
+    num_vertices: int,
+    arc_range_start: int,
+    arc_range_end: int,
     *,
-    chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
-    probe: str = "auto",
-) -> np.ndarray:
-    """Closed-neighborhood dot product of every edge, with no per-arc loop.
+    chunk_pairs: int,
+    probe: str,
+) -> None:
+    """Add triangle contributions of oriented arcs ``[start, end)`` onto ``out``.
 
-    Returns the same numerator array as ``_numerators_merge`` (up to float
-    summation order) and charges the same work/span.  ``probe`` selects the
-    membership-probe strategy (module docstring); the default picks by the
-    measured crossover.
+    The memory-bounded chunk loop of the batch engine, restricted to a
+    contiguous range of oriented arcs: both the serial all-arc pass and
+    every shard of the multicore execution layer
+    (:mod:`repro.parallel.execute`) run exactly this function, which is what
+    keeps the process-parallel similarity pass bit-identical to the serial
+    one on unweighted graphs (all contributions are integers, so the shard
+    merge order cannot matter).  ``probe`` must already be concrete
+    (``"global"`` requires ``comp``, the sentinel-terminated composite keys
+    of the whole orientation).
     """
-    if chunk_pairs < 1:
-        raise ValueError(f"chunk_pairs must be positive, got {chunk_pairs}")
-    oriented = graph.degree_oriented_csr()
     indptr, targets, edge_ids, weights = oriented
-    num_edges = graph.num_edges
-    numerators = np.zeros(num_edges, dtype=np.float64)
-    # Base term: x = u and x = v both belong to the closed intersection and
-    # contribute w(u,v) * 1 each.
-    if graph.edge_weights is None:
-        numerators += 2.0
-    else:
-        numerators += 2.0 * graph.edge_weights
-
+    num_edges = int(out.shape[0])
     num_oriented = int(targets.shape[0])
-    if num_oriented == 0:
-        scheduler.charge(0.0, ceil_log2(max(num_edges, 1)) + 1.0)
-        return numerators
-
+    arc_range_start = int(arc_range_start)
+    arc_range_end = int(arc_range_end)
+    # Pair counts only over this range: a shard of the multicore layer must
+    # not pay an O(all arcs) pass before its own work starts.  The chunking
+    # below indexes through ``range_counts``/``range_cumulative`` with
+    # range-relative positions; everything touching the CSR arrays stays
+    # absolute.
     out_degrees = np.diff(indptr)
-    sources = graph.oriented_arc_sources()
-    probe = resolve_probe(probe, int(out_degrees.max(initial=0)))
-    if probe == "global":
-        # Strictly increasing composite key of every oriented arc (memoised
-        # on the graph, with a trailing sentinel for bounds-free misses).
-        comp = graph.oriented_search_keys()
-        n = graph.num_vertices
-
-    # Cost model: identical to the merge backend.  Arcs whose target has no
-    # out-neighbors are skipped there before any cost accrues.  The maximum
-    # per-arc span is ceil_log2 of the maximum cost (ceil_log2 is monotone).
-    pair_counts = out_degrees[targets]
-    active = pair_counts > 0
-    if active.any():
-        costs = out_degrees[sources[active]] + pair_counts[active]
-        total_work = float(costs.sum())
-        max_span = ceil_log2(int(costs.max())) + 1.0
-    else:
-        total_work = 0.0
-        max_span = 0.0
-
-    cumulative_pairs = np.cumsum(pair_counts)
-    arc_start = 0
-    while arc_start < num_oriented:
-        base = int(cumulative_pairs[arc_start - 1]) if arc_start else 0
-        arc_end = int(np.searchsorted(cumulative_pairs, base + chunk_pairs, side="right"))
-        arc_end = min(max(arc_end, arc_start + 1), num_oriented)
-        counts = pair_counts[arc_start:arc_end]
+    range_counts = out_degrees[targets[arc_range_start:arc_range_end]]
+    range_cumulative = np.cumsum(range_counts)
+    arc_start = arc_range_start
+    while arc_start < arc_range_end:
+        relative_start = arc_start - arc_range_start
+        base = int(range_cumulative[relative_start - 1]) if relative_start else 0
+        arc_end = arc_range_start + int(
+            np.searchsorted(range_cumulative, base + chunk_pairs, side="right")
+        )
+        arc_end = min(max(arc_end, arc_start + 1), arc_range_end)
+        counts = range_counts[relative_start:arc_end - arc_range_start]
         chunk_total = int(counts.sum())
         if chunk_total == 0:
             arc_start = arc_end
@@ -146,7 +131,10 @@ def batch_numerators(
         candidate_pos = segmented_ranges(indptr[targets[arc_start:arc_end]], counts)
         queries = targets[candidate_pos]
         if probe == "global":
-            keys = np.repeat(sources[arc_start:arc_end] * np.int64(n), counts) + queries
+            keys = (
+                np.repeat(sources[arc_start:arc_end] * np.int64(num_vertices), counts)
+                + queries
+            )
             locations = np.searchsorted(comp[:num_oriented], keys)
             # A miss past the end lands on the sentinel and compares unequal.
             found = comp[locations] == keys
@@ -171,16 +159,90 @@ def batch_numerators(
             w_ux = weights[arc_ux]
             w_vx = weights[arc_vx]
             # Triangle {u, v, x}: each edge gains the product of the other two.
-            numerators += np.bincount(
+            out += np.bincount(
                 edge_ids[arc_uv], weights=w_ux * w_vx, minlength=num_edges
             )
-            numerators += np.bincount(
+            out += np.bincount(
                 edge_ids[arc_ux], weights=w_uv * w_vx, minlength=num_edges
             )
-            numerators += np.bincount(
+            out += np.bincount(
                 edge_ids[arc_vx], weights=w_uv * w_ux, minlength=num_edges
             )
         arc_start = arc_end
+
+
+def batch_numerators(
+    graph: Graph,
+    scheduler: Scheduler,
+    *,
+    chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    probe: str = "auto",
+    executor=None,
+) -> np.ndarray:
+    """Closed-neighborhood dot product of every edge, with no per-arc loop.
+
+    Returns the same numerator array as ``_numerators_merge`` (up to float
+    summation order) and charges the same work/span.  ``probe`` selects the
+    membership-probe strategy (module docstring); the default picks by the
+    measured crossover.  ``executor`` -- a
+    :class:`~repro.parallel.execute.ParallelExecutor` -- shards the pass
+    across worker processes for unweighted graphs (bit-identical: integer
+    contributions merge exactly); weighted graphs ignore it and stay serial
+    so float summation order is preserved.
+    """
+    if chunk_pairs < 1:
+        raise ValueError(f"chunk_pairs must be positive, got {chunk_pairs}")
+    oriented = graph.degree_oriented_csr()
+    indptr, targets, edge_ids, weights = oriented
+    num_edges = graph.num_edges
+    numerators = np.zeros(num_edges, dtype=np.float64)
+    # Base term: x = u and x = v both belong to the closed intersection and
+    # contribute w(u,v) * 1 each.
+    if graph.edge_weights is None:
+        numerators += 2.0
+    else:
+        numerators += 2.0 * graph.edge_weights
+
+    num_oriented = int(targets.shape[0])
+    if num_oriented == 0:
+        scheduler.charge(0.0, ceil_log2(max(num_edges, 1)) + 1.0)
+        return numerators
+
+    out_degrees = np.diff(indptr)
+    sources = graph.oriented_arc_sources()
+    probe = resolve_probe(probe, int(out_degrees.max(initial=0)))
+    comp = None
+    if probe == "global":
+        # Strictly increasing composite key of every oriented arc (memoised
+        # on the graph, with a trailing sentinel for bounds-free misses).
+        comp = graph.oriented_search_keys()
+    n = graph.num_vertices
+
+    # Cost model: identical to the merge backend.  Arcs whose target has no
+    # out-neighbors are skipped there before any cost accrues.  The maximum
+    # per-arc span is ceil_log2 of the maximum cost (ceil_log2 is monotone).
+    pair_counts = out_degrees[targets]
+    active = pair_counts > 0
+    if active.any():
+        costs = out_degrees[sources[active]] + pair_counts[active]
+        total_work = float(costs.sum())
+        max_span = ceil_log2(int(costs.max())) + 1.0
+    else:
+        total_work = 0.0
+        max_span = 0.0
+
+    contributions = None
+    if executor is not None:
+        contributions = executor.sharded_numerators(
+            graph, probe=probe, chunk_pairs=chunk_pairs
+        )
+    if contributions is not None:
+        numerators += contributions
+    else:
+        accumulate_oriented_contributions(
+            numerators, oriented, sources, comp, n, 0, num_oriented,
+            chunk_pairs=chunk_pairs, probe=probe,
+        )
 
     scheduler.charge(total_work, max_span + ceil_log2(max(num_edges, 1)) + 1.0)
     return numerators

@@ -323,6 +323,7 @@ def compute_similarities(
     measure: str = "cosine",
     backend: str = "batch",
     scheduler: Scheduler | None = None,
+    executor=None,
 ) -> EdgeSimilarities:
     """Similarity score of every edge of ``graph``.
 
@@ -340,6 +341,11 @@ def compute_similarities(
     scheduler:
         Work-span accounting target; a fresh throw-away scheduler is used
         when omitted.
+    executor:
+        Optional :class:`~repro.parallel.execute.ParallelExecutor` sharding
+        the ``batch`` backend's pass across worker processes (unweighted
+        graphs; other backends and weighted graphs run serially and ignore
+        it).  The result is bit-identical either way.
     """
     if measure not in MEASURES:
         raise ValueError(f"unknown measure {measure!r}; expected one of {MEASURES}")
@@ -354,7 +360,7 @@ def compute_similarities(
         return EdgeSimilarities(graph, empty, measure, backend, numerators=empty.copy())
 
     if backend == "batch":
-        numerators = batch_numerators(graph, scheduler)
+        numerators = batch_numerators(graph, scheduler, executor=executor)
     elif backend == "merge":
         numerators = _numerators_merge(graph, scheduler)
     elif backend == "hash":

@@ -240,6 +240,7 @@ class TestLifecycle:
                 "cancelled": 0,
                 "affected_edges": report.affected_edges,
                 "affected_vertices": report.affected_vertices,
+                "order_strategy": report.order_strategy,
             }
         ]
         assert index._mutation_epoch == 1

@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.parallel import sorting
+
 from repro.parallel import (
     Scheduler,
+    packed_argsort,
     comparison_sort_permutation,
     integer_sort_permutation,
     rationals_to_sort_keys,
@@ -158,3 +161,61 @@ class TestSegmentedSort:
     def test_length_mismatch(self, s):
         with pytest.raises(ValueError):
             segmented_sort_by_key(s, np.array([0, 2]), np.arange(2), np.arange(3))
+
+
+class TestPackedArgsort:
+    """The radix fast path must be indistinguishable from the stable argsort."""
+
+    def _random_packed(self, rng, num_segments, total, key_span):
+        lengths = rng.multinomial(total, np.ones(num_segments) / num_segments)
+        segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
+        keys = rng.integers(0, key_span, total).astype(np.int64)
+        return segment_ids * np.int64(key_span) + keys, num_segments * key_span
+
+    @pytest.mark.parametrize("num_segments,total,key_span", [
+        (7, 200, 5),          # heavy ties
+        (50, 3000, 1000),     # one digit pass
+        (300, 5000, 200_000), # two digit passes
+        (3, 4000, 1 << 21),   # long segments, wide keys
+        (1, 500, 64),         # single segment
+    ])
+    def test_radix_matches_argsort(self, rng, num_segments, total, key_span):
+        packed, universe = self._random_packed(rng, num_segments, total, key_span)
+        max_segment = total  # irrelevant to forced strategies
+        via_radix = packed_argsort(
+            packed, universe=universe, max_segment=max_segment, strategy="radix"
+        )
+        via_argsort = packed_argsort(
+            packed, universe=universe, max_segment=max_segment, strategy="argsort"
+        )
+        assert np.array_equal(via_radix, via_argsort)
+
+    def test_auto_picks_radix_only_when_eligible(self):
+        packed = np.arange(sorting.RADIX_MIN_TOTAL, dtype=np.int64)
+        # Long segments + small universe: eligible.
+        assert sorting.radix_passes(1 << 16) == 1
+        assert sorting.radix_passes(1 << 32) == 2
+        assert sorting.radix_passes((1 << 32) + 1) == 3
+        # Every auto decision must still return the stable permutation.
+        for max_segment in (1, sorting.RADIX_MIN_MAX_SEGMENT):
+            order = packed_argsort(
+                packed, universe=packed.shape[0], max_segment=max_segment
+            )
+            assert np.array_equal(order, np.arange(packed.shape[0]))
+
+    def test_empty_and_unknown_strategy(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert packed_argsort(empty, universe=1, max_segment=0).size == 0
+        with pytest.raises(ValueError, match="unknown sort strategy"):
+            packed_argsort(empty, universe=1, max_segment=0, strategy="bogus")
+
+    def test_segmented_sort_strategy_knob(self, s, rng):
+        offsets = np.array([0, 4, 4, 9, 16], dtype=np.int64)
+        values = np.arange(16, dtype=np.int64)
+        keys = rng.integers(0, 5, 16).astype(np.int64)
+        expected = segmented_sort_by_key(s, offsets, values, keys)
+        for strategy in ("radix", "argsort", "auto"):
+            result = segmented_sort_by_key(
+                s, offsets, values, keys, sort_strategy=strategy
+            )
+            assert np.array_equal(result, expected)
