@@ -39,7 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import ScanIndex
+from repro import ScanIndex, verify_artifact
 from repro.bench import format_table
 from repro.graphs import from_edge_list, planted_partition
 from repro.parallel import execute
@@ -237,6 +237,39 @@ def measure_pool_startup() -> float | None:
     return time.perf_counter() - started
 
 
+def _measure_durability(index: ScanIndex, name: str) -> dict:
+    """Time the artifact lifecycle: crash-safe save, load, fast/deep verify.
+
+    The save number includes the whole commit protocol (scratch write,
+    per-file fsyncs, backup-and-rename swap), so it prices what durability
+    actually costs relative to the build it protects.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / f"{name}.scanidx"
+        save_seconds = _best_of(lambda: index.save(path), TIMING_REPEATS)
+        load_seconds = _best_of(lambda: ScanIndex.load(path), TIMING_REPEATS)
+        deep_load_seconds = _best_of(
+            lambda: ScanIndex.load(path, verify=True), TIMING_REPEATS
+        )
+        verify_fast_seconds = _best_of(
+            lambda: verify_artifact(path), TIMING_REPEATS
+        )
+        verify_deep_seconds = _best_of(
+            lambda: verify_artifact(path, deep=True), TIMING_REPEATS
+        )
+        payload_bytes = (path / "columns.npz").stat().st_size
+    return {
+        "payload_bytes": int(payload_bytes),
+        "save_seconds": save_seconds,
+        "load_seconds": load_seconds,
+        "load_verify_seconds": deep_load_seconds,
+        "verify_fast_seconds": verify_fast_seconds,
+        "verify_deep_seconds": verify_deep_seconds,
+    }
+
+
 def bench_graph(name: str, loader, jobs_grid) -> dict:
     graph = loader()
     recorder = _SortRecorder()
@@ -276,6 +309,7 @@ def bench_graph(name: str, loader, jobs_grid) -> dict:
         "serial_seconds": serial_seconds,
         "jobs": jobs_rows,
         "order_microbench": _measure_order_strategies(recorder),
+        "durability": _measure_durability(serial, name),
     }
 
 
@@ -333,6 +367,23 @@ def run(ladder, jobs_grid, output: Path | None) -> dict:
          "argsort_ms", "radix_ms", "radix_speedup"],
         micro_rows,
     ))
+    durability_rows = [
+        [
+            record["name"],
+            round(record["durability"]["payload_bytes"] / 1e6, 3),
+            round(record["durability"]["save_seconds"] * 1e3, 2),
+            round(record["durability"]["load_seconds"] * 1e3, 2),
+            round(record["durability"]["load_verify_seconds"] * 1e3, 2),
+            round(record["durability"]["verify_fast_seconds"] * 1e3, 2),
+            round(record["durability"]["verify_deep_seconds"] * 1e3, 2),
+        ]
+        for record in graphs
+    ]
+    print(format_table(
+        ["graph", "payload_mb", "save_ms", "load_ms", "load_verify_ms",
+         "verify_fast_ms", "verify_deep_ms"],
+        durability_rows,
+    ))
     if output is not None:
         output.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {output}")
@@ -350,6 +401,11 @@ def test_construction_smoke(tmp_path, monkeypatch):
             assert cell["parallel_executed"]
         for cell in record["order_microbench"]:
             assert cell["radix_speedup"] > 0
+        durability = record["durability"]
+        assert durability["payload_bytes"] > 0
+        for key in ("save_seconds", "load_seconds", "load_verify_seconds",
+                    "verify_fast_seconds", "verify_deep_seconds"):
+            assert durability[key] > 0, key
 
 
 def main(argv=None) -> int:

@@ -48,9 +48,14 @@ from .dynamic import UpdateBatch, UpdateReport
 from .lsh.approximate import ApproximationConfig, compute_approximate_similarities
 from .serve import ClusterSession, ServedResult
 from .similarity.exact import EdgeSimilarities, compute_similarities
-from .storage import ArtifactFormatError, IndexArtifact
+from .storage import (
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    IndexArtifact,
+    verify_artifact,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "UNCLUSTERED",
@@ -60,6 +65,8 @@ __all__ = [
     "ServedResult",
     "ApproximationConfig",
     "ArtifactFormatError",
+    "ArtifactIntegrityError",
+    "verify_artifact",
     "EdgeSimilarities",
     "IndexArtifact",
     "UpdateBatch",

@@ -20,6 +20,15 @@ re-sorting the orders::
     python -m repro cluster edges.txt --mu 5 --epsilon 0.6 --save my.scanidx
     python -m repro cluster --load my.scanidx --mu 8 --epsilon 0.7
 
+Artifacts are committed crash-safely (fsync-then-rename; an interrupted
+save or update leaves the old or the new artifact, never a torn mix) and
+carry per-column checksums; ``index verify`` proves a saved artifact
+consistent -- ``--deep`` recomputes every checksum, ``--clean`` sweeps
+scratch directories left by dead writers::
+
+    python -m repro index verify my.scanidx
+    python -m repro index verify my.scanidx --deep
+
 The ``serve`` subcommand keeps one :class:`~repro.serve.session.
 ClusterSession` alive over a saved artifact and answers newline-delimited
 ``MU:EPSILON`` requests from stdin or a file -- repeats hit the ε-snapped
@@ -46,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence, TextIO
 
 from .bench.datasets import DATASETS, SCALES, dataset_summaries
@@ -57,6 +67,7 @@ from .graphs.io import read_edge_list
 from .lsh.approximate import ApproximationConfig
 from .similarity.exact import BACKENDS
 from .storage.format import ArtifactFormatError
+from .storage.integrity import clean_stale_scratch, verify_artifact
 
 
 def _load_artifact(path: str) -> ScanIndex | None:
@@ -225,6 +236,22 @@ def _command_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_index_verify(args: argparse.Namespace) -> int:
+    if args.clean:
+        removed = clean_stale_scratch(Path(args.artifact))
+        for sibling in removed:
+            print(f"removed stale scratch {sibling.name}")
+    try:
+        report = verify_artifact(args.artifact, deep=args.deep, recover=True)
+    except (ArtifactFormatError, OSError) as error:
+        print(f"error: artifact {args.artifact!r} fails verification: {error}",
+              file=sys.stderr)
+        return 2
+    for line in report.lines():
+        print(line)
+    return 0
+
+
 def _command_update(args: argparse.Namespace) -> int:
     index = _load_artifact(args.artifact)
     if index is None:
@@ -246,7 +273,7 @@ def _command_update(args: argparse.Namespace) -> int:
         return 2
     try:
         path = index.save(args.output if args.output is not None else args.artifact)
-    except OSError as error:
+    except (ArtifactFormatError, OSError) as error:
         print(f"error: cannot save updated artifact: {error}", file=sys.stderr)
         return 2
     print(
@@ -401,6 +428,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="batch of settings answered by one planned sweep, "
                                   "e.g. --pairs 3:0.4 5:0.6 5:0.7")
     index_query.set_defaults(handler=_command_index_query)
+
+    index_verify = index_subparsers.add_parser(
+        "verify", help="prove a saved artifact consistent (header, shapes, "
+                       "checksums) and report stale scratch"
+    )
+    index_verify.add_argument("artifact", help="artifact directory to verify")
+    index_verify.add_argument("--deep", action="store_true",
+                              help="recompute every column's CRC-32 against "
+                                   "the header (reads all stored bytes)")
+    index_verify.add_argument("--clean", action="store_true",
+                              help="remove stale scratch directories left by "
+                                   "dead writers before verifying")
+    index_verify.set_defaults(handler=_command_index_verify)
 
     update = subparsers.add_parser(
         "update",

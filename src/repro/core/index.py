@@ -427,8 +427,12 @@ class ScanIndex:
         ----------
         path:
             Target artifact *directory*.  The write is staged in a scratch
-            sibling and swapped in atomically, so an interrupted save leaves
-            either the previous artifact or nothing -- never a torn mix.
+            sibling, fsynced, and swapped in through the backup-and-rename
+            commit protocol of :mod:`repro.storage.integrity`, so a save
+            interrupted at any instant leaves either the complete previous
+            artifact or the complete new one -- never a torn mix.  The
+            header records a CRC-32 per column so the write can later be
+            proven intact (``repro index verify``).
 
         Returns the path written, for chaining into :meth:`load`.
         """
@@ -437,7 +441,13 @@ class ScanIndex:
         return save_index(self, path)
 
     @classmethod
-    def load(cls, path: str | Path, *, mmap_mode: str | None = "r") -> "ScanIndex":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        mmap_mode: str | None = "r",
+        verify: bool = False,
+    ) -> "ScanIndex":
         """Load a saved index artifact, memory-mapping its columns.
 
         The load path performs no similarity computation and no sorting: the
@@ -454,14 +464,25 @@ class ScanIndex:
             until a query reads it; ``None`` reads everything into memory
             up front (use when the artifact lives on storage slower than
             page-fault latency tolerates).
+        verify:
+            ``True`` additionally checks every column's CRC-32 against the
+            header before returning (the deep integrity check; reads every
+            byte).  The fast structural check -- header consistency, column
+            dtypes/lengths, graph shape -- always runs.
+
+        A target missing because a writer died between its commit renames
+        is recovered from its parked backup first (lineage-checked; see
+        :func:`repro.storage.integrity.recover_artifact`).
 
         Raises :class:`~repro.storage.format.ArtifactFormatError` when the
         path is missing, not an artifact, corrupt, or of an unsupported
-        format version.
+        format version -- and its subclass
+        :class:`~repro.storage.integrity.ArtifactIntegrityError` when
+        stored bytes fail their recorded checksums.
         """
         from ..storage.artifact import load_index
 
-        return load_index(path, mmap_mode=mmap_mode)
+        return load_index(path, mmap_mode=mmap_mode, verify=verify)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -40,6 +40,18 @@ serial execution -- with a single :class:`RuntimeWarning` per reason -- when
 graph sits below :data:`PARALLEL_FLOOR_ARCS`, the measured size floor under
 which pool startup dominates any possible win (recorded alongside the
 scaling numbers in ``BENCH_construction.json``).
+
+Dispatch is *supervised* (:mod:`repro.parallel.supervise`): every task runs
+under a per-task timeout with bounded exponential-backoff retry, so a dying
+or wedged worker costs one timeout, not a hung build -- and when the pool is
+beyond saving, the executor tears it down, releases every shared-memory
+segment (guaranteed by ``finally`` on all error paths; see
+:func:`active_shared_segments` for the leak check the tests run), and
+finishes the stage on the bit-identical serial path with a single
+:class:`~repro.parallel.supervise.DegradedExecutionWarning`.  Worker deaths
+are injectable deterministically through the ``parallel.worker.task`` fault
+point (:mod:`repro.testing.faults`); the chaos suite kills workers
+mid-build and asserts the index still matches the serial build bit for bit.
 """
 
 from __future__ import annotations
@@ -57,11 +69,20 @@ try:  # pragma: no cover - import guard exercised via monkeypatching
 except ImportError:  # pragma: no cover
     _shared_memory = None
 
+from ..testing.faults import fault_point
 from .sorting import packed_argsort
+from .supervise import (
+    DegradedExecutionWarning,
+    PoolBroken,
+    SupervisionPolicy,
+    TaskFailed,
+    run_supervised,
+)
 
 __all__ = [
     "PARALLEL_FLOOR_ARCS",
     "ParallelExecutor",
+    "active_shared_segments",
     "executor_for",
     "resolve_jobs",
     "shared_memory_available",
@@ -123,7 +144,7 @@ def _warn_once(key: str, message: str) -> None:
         warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
-def executor_for(jobs: int, *, num_arcs: int):
+def executor_for(jobs: int, *, num_arcs: int, policy: SupervisionPolicy | None = None):
     """Context manager yielding a :class:`ParallelExecutor`, or ``None``.
 
     The serial outcomes -- ``jobs`` resolving to 1, shared memory being
@@ -149,12 +170,24 @@ def executor_for(jobs: int, *, num_arcs: int):
             f"jobs={jobs} falls back to serial execution",
         )
         return nullcontext(None)
-    return ParallelExecutor(jobs)
+    return ParallelExecutor(jobs, policy=policy)
 
 
 # ----------------------------------------------------------------------
 # Shared-memory column plumbing
 # ----------------------------------------------------------------------
+#: Names of shared-memory segments this process created and has not yet
+#: released.  The leak check in the tests forces dispatch failures and then
+#: asserts this is empty -- /dev/shm is a machine-wide resource, and a
+#: leaked orkut-sized column outlives the process that leaked it.
+_live_segments: set[str] = set()
+
+
+def active_shared_segments() -> int:
+    """Shared-memory segments currently owned (created, unreleased) here."""
+    return len(_live_segments)
+
+
 @dataclass(frozen=True)
 class SharedColumn:
     """Name/shape/dtype triple a worker needs to map one shared column."""
@@ -182,6 +215,7 @@ class _ColumnSet:
         array = np.ascontiguousarray(array)
         handle = _shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
         self._handles.append(handle)
+        _live_segments.add(handle.name)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=handle.buf)
         view[...] = array
         return SharedColumn(handle.name, tuple(array.shape), array.dtype.str)
@@ -192,14 +226,30 @@ class _ColumnSet:
         size = max(int(np.prod(shape)) * dtype.itemsize, 1)
         handle = _shared_memory.SharedMemory(create=True, size=size)
         self._handles.append(handle)
+        _live_segments.add(handle.name)
         view = np.ndarray(shape, dtype=dtype, buffer=handle.buf)
         view[...] = 0
         return SharedColumn(handle.name, tuple(shape), dtype.str), view
 
     def release(self) -> None:
+        """Release every block, tolerating per-handle failure.
+
+        One close/unlink raising (a segment a crashed worker already
+        tore down, say) must not strand the remaining segments -- this
+        runs in ``finally`` on every dispatch path, success or not, and
+        the accounting in :data:`_live_segments` only drops a name once
+        its unlink was attempted.
+        """
         for handle in self._handles:
-            handle.close()
-            handle.unlink()
+            try:
+                handle.close()
+            except Exception:  # pragma: no cover - platform specific
+                pass
+            try:
+                handle.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+            _live_segments.discard(handle.name)
         self._handles.clear()
 
 
@@ -207,6 +257,7 @@ class _ColumnSet:
 # Worker entry points (top-level so every start method can pickle them)
 # ----------------------------------------------------------------------
 def _sort_worker(
+    task_index: int,
     packed_spec: SharedColumn,
     out_spec: SharedColumn,
     lo: int,
@@ -219,7 +270,12 @@ def _sort_worker(
 
     Shards write disjoint slices of one shared output column, so no
     synchronisation is needed; positions are absolute (offset by ``lo``).
+    Safe to re-run after a worker death: the slice is fully overwritten
+    with a pure function of the (read-only) input, so a retry -- even one
+    racing a straggler that was slow rather than dead -- produces the same
+    bytes.
     """
+    fault_point("parallel.worker.task", task=task_index)
     handles = []
     try:
         handle, packed = _attach(packed_spec)
@@ -239,6 +295,7 @@ def _sort_worker(
 
 
 def _numerator_worker(
+    task_index: int,
     column_specs: dict,
     out_spec: SharedColumn,
     out_row: int,
@@ -255,9 +312,15 @@ def _numerator_worker(
     (:func:`repro.similarity.batch.accumulate_oriented_contributions`), so
     every worker's partial column is the integer-valued array the serial
     pass would have produced for the same arc range.
+
+    Accumulation is *not* idempotent, so a retry of a task whose first
+    attempt may have partially run is never aimed at the same row: the
+    supervisor's ``respawn`` hook hands each retry a fresh zeroed block
+    and the merge reads only the block of the attempt that completed.
     """
     from ..similarity.batch import accumulate_oriented_contributions
 
+    fault_point("parallel.worker.task", task=task_index)
     handles = []
     try:
         columns = {}
@@ -305,19 +368,35 @@ class ParallelExecutor:
 
         with ParallelExecutor(jobs=4) as executor:
             order = executor.segmented_argsort(packed, offsets, ...)
+
+    Dispatches are supervised (per-task timeout, bounded retry with
+    backoff; see :mod:`repro.parallel.supervise`).  When supervision gives
+    up -- retries exhausted, pool broken -- the executor marks itself
+    degraded, tears the pool down, warns once with a
+    :class:`~repro.parallel.supervise.DegradedExecutionWarning`, and every
+    stage (the failed one included) completes on the bit-identical serial
+    path.  Shared-memory segments are released in ``finally`` on all
+    paths; :func:`active_shared_segments` must read zero afterwards.
     """
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int, *, policy: SupervisionPolicy | None = None) -> None:
         jobs = resolve_jobs(jobs)
         if jobs < 2:
             raise ValueError(f"ParallelExecutor needs at least 2 jobs, got {jobs}")
         if not shared_memory_available():  # pragma: no cover - platform dependent
             raise RuntimeError("multiprocessing.shared_memory is unavailable")
         self.jobs = jobs
+        self.policy = policy if policy is not None else SupervisionPolicy()
         start_methods = multiprocessing.get_all_start_methods()
         method = "fork" if "fork" in start_methods else start_methods[0]
         self._context = multiprocessing.get_context(method)
         self._pool = None
+        self._degraded = False
+        # A pool that ever lost a task attempt (worker dead past its
+        # timeout) holds a permanently stuck entry in its result cache;
+        # close()+join() on it would block forever, so teardown must
+        # terminate() it even though every dispatch ultimately succeeded.
+        self._tainted = False
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "ParallelExecutor":
@@ -326,17 +405,73 @@ class ParallelExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def degraded(self) -> bool:
+        """True once supervision has abandoned the pool for this executor."""
+        return self._degraded
+
     def _ensure_pool(self):
         if self._pool is None:
             self._pool = self._context.Pool(self.jobs)
         return self._pool
 
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
+        """Shut the pool down (idempotent).
+
+        A healthy pool is drained cleanly -- ``close()`` then ``join()``,
+        so workers finish and exit rather than being killed mid-breath
+        (``terminate()`` here used to reap workers abruptly even after
+        flawless builds).  ``terminate()`` remains the teardown for a pool
+        declared broken *or* one that ever lost a task attempt: both hold
+        state a clean join would block on forever (dead workers, or a
+        result-cache entry whose producer died).
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            try:
+                if self._degraded or self._tainted:
+                    self._pool.terminate()
+                else:
+                    self._pool.close()
+                self._pool.join()
+            finally:
+                self._pool = None
+
+    def _degrade(self, stage: str, error: BaseException) -> None:
+        """Abandon the pool: tear it down and warn exactly once."""
+        first = not self._degraded
+        self._degraded = True
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:  # pragma: no cover - teardown of a broken pool
+                pass
             self._pool = None
+        if first:
+            warnings.warn(
+                DegradedExecutionWarning(
+                    f"parallel {stage} degraded to serial execution "
+                    f"(supervised dispatch failed: {error}); the result is "
+                    "unaffected -- the serial path is bit-identical"
+                ),
+                stacklevel=4,
+            )
+
+    def _dispatch(self, func, tasks, *, stage: str, respawn=None) -> bool:
+        """Run tasks supervised; False means the caller must go serial."""
+        if self._degraded:
+            return False
+        try:
+            lost = run_supervised(
+                self._ensure_pool(), func, tasks,
+                policy=self.policy, respawn=respawn,
+            )
+            if lost:
+                self._tainted = True
+            return True
+        except (TaskFailed, PoolBroken) as error:
+            self._degrade(stage, error)
+            return False
 
     # -- the segmented order sorts --------------------------------------
     def segmented_argsort(
@@ -360,9 +495,10 @@ class ParallelExecutor:
         """
         total = int(packed.shape[0])
         bounds = self._segment_bounds(segment_offsets, total)
-        if total == 0 or bounds.shape[0] <= 2:
-            # Nothing to shard (empty input, or one segment swallowing every
-            # split point): the serial permutation is the same answer.
+        if self._degraded or total == 0 or bounds.shape[0] <= 2:
+            # Nothing to shard (empty input, one segment swallowing every
+            # split point, or an executor already degraded): the serial
+            # permutation is the same answer.
             return packed_argsort(
                 packed, universe=universe, max_segment=max_segment, strategy=strategy
             )
@@ -371,13 +507,21 @@ class ParallelExecutor:
             packed_spec = columns.share(packed)
             out_spec, out = columns.allocate((total,), np.int64)
             tasks = [
-                (packed_spec, out_spec, int(lo), int(hi), universe, max_segment, strategy)
-                for lo, hi in zip(bounds[:-1], bounds[1:])
+                (index, packed_spec, out_spec, int(lo), int(hi),
+                 universe, max_segment, strategy)
+                for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
             ]
-            self._ensure_pool().starmap(_sort_worker, tasks)
-            return out.copy()
+            # Sort tasks overwrite disjoint slices deterministically, so a
+            # retry re-runs with the original arguments (no respawn hook).
+            if self._dispatch(_sort_worker, tasks, stage="segmented argsort"):
+                return out.copy()
         finally:
             columns.release()
+        # Supervision gave up: finish this stage on the serial path, which
+        # produces the identical permutation.
+        return packed_argsort(
+            packed, universe=universe, max_segment=max_segment, strategy=strategy
+        )
 
     def _segment_bounds(self, segment_offsets: np.ndarray, total: int) -> np.ndarray:
         """Shard boundaries: jobs-quantiles snapped to segment starts."""
@@ -400,13 +544,15 @@ class ParallelExecutor:
 
         Returns ``None`` when the pass must stay serial: weighted graphs
         (contributions are float products whose summation order the merge
-        would change) and empty orientations.  Otherwise shards the
+        would change), empty orientations, and an executor whose pool
+        supervision has given up (the caller then runs the serial pass,
+        which computes the identical numerators).  Otherwise shards the
         oriented arcs by candidate-pair counts, lets every worker run the
         serial chunk loop on its range, and sums the per-worker columns in
         shard order -- exact, because unweighted contributions are bounded
         integers.
         """
-        if graph.edge_weights is not None:
+        if graph.edge_weights is not None or self._degraded:
             return None
         oriented = graph.degree_oriented_csr()
         num_oriented = int(oriented.indices.shape[0])
@@ -435,15 +581,41 @@ class ParallelExecutor:
             if probe == "global":
                 specs["comp"] = columns.share(graph.oriented_search_keys())
             num_tasks = int(bounds.shape[0] - 1)
-            out_spec, out = columns.allocate((num_tasks, num_edges), np.float64)
-            tasks = [
-                (specs, out_spec, row, graph.num_vertices, int(lo), int(hi),
-                 chunk_pairs, probe)
-                for row, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
-            ]
-            self._ensure_pool().starmap(_numerator_worker, tasks)
+            # One private block per task rather than one big slab: retries
+            # of a non-idempotent accumulation must land in *fresh* memory,
+            # and per-task blocks let the respawn hook swap a single shard's
+            # output without touching its siblings.
+            outputs: dict[int, np.ndarray] = {}
+            tasks = []
+            for row, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+                out_spec, out = columns.allocate((1, num_edges), np.float64)
+                outputs[row] = out
+                tasks.append((
+                    row, specs, out_spec, 0, graph.num_vertices,
+                    int(lo), int(hi), chunk_pairs, probe,
+                ))
+
+            def respawn(index: int, attempt: int) -> tuple:
+                # Accumulation is += into the block, so an attempt that
+                # partially ran (or a straggler still limping along) has
+                # poisoned its block.  Hand the retry a fresh zeroed one and
+                # point the merge at it; the old block is never read again.
+                out_spec, out = columns.allocate((1, num_edges), np.float64)
+                outputs[index] = out
+                base = tasks[index]
+                return (base[0], base[1], out_spec, 0) + base[4:]
+
+            if not self._dispatch(
+                _numerator_worker, tasks,
+                stage="similarity pass", respawn=respawn,
+            ):
+                return None
             # Shard order; integer-valued columns, so the sum is exact and
-            # equal to the serial left-to-right accumulation.
-            return out.sum(axis=0)
+            # equal to the serial left-to-right accumulation.  Copy out of
+            # shared memory before the blocks are released below.
+            merged = outputs[0][0].copy()
+            for row in range(1, num_tasks):
+                merged += outputs[row][0]
+            return merged
         finally:
             columns.release()

@@ -1,0 +1,195 @@
+"""Supervision for the real execution pool: timeouts, bounded retry, degradation.
+
+The executor in :mod:`repro.parallel.execute` dispatches deterministic,
+re-runnable tasks -- each one recomputes a pure function of shared
+read-only columns into its own output region.  What it originally lacked
+was any answer to a worker that *dies* (its task's result simply never
+arrives and a bare ``starmap`` blocks forever), a transient ``OSError`` /
+``MemoryError`` under memory pressure (one flake failed the whole build),
+or a pool broken badly enough that submitting work raises.  This module is
+that answer, with one contract:
+
+**a supervised dispatch either completes every task with exactly the bytes
+the serial path would have produced, or raises -- and the executor then
+degrades to the bit-identical serial path with a single structured
+warning.**  No third outcome: a worker death can cost wall-clock time,
+never correctness.
+
+Mechanics (:func:`run_supervised`):
+
+* every task is submitted with ``apply_async`` and awaited under a
+  **per-task timeout** -- the liveness backstop that converts a dead or
+  wedged worker (whose result will never arrive) into a retryable event;
+* timeouts and transient exceptions trigger **bounded retry with
+  exponential backoff** (``base * 2**attempt``, capped); deterministic
+  tasks make retry safe, and callers whose outputs are accumulated rather
+  than overwritten pass a ``respawn`` hook handing each retry a *fresh*
+  output block, so a half-written attempt (or a straggler that was merely
+  slow, not dead) can never contaminate the merged result;
+* non-transient worker exceptions and exhausted retries raise
+  :class:`TaskFailed`; submission failures (a pool whose machinery is
+  gone) raise :class:`PoolBroken` -- both of which the executor catches to
+  **degrade to serial**, tearing the broken pool down and releasing every
+  shared-memory segment on the way (the ``finally`` blocks in
+  ``execute.py`` hold that invariant on every error path).
+
+The fault points ``parallel.worker.task`` (worker entry, armable as a real
+``os._exit`` kill) and ``parallel.dispatch`` (master-side submission,
+armable as a transient error) are what the chaos suite drives; see
+:mod:`repro.testing.faults`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from ..testing.faults import fault_point
+
+__all__ = [
+    "DegradedExecutionWarning",
+    "PoolBroken",
+    "SupervisionPolicy",
+    "TaskFailed",
+    "run_supervised",
+]
+
+
+class DegradedExecutionWarning(RuntimeWarning):
+    """Pool execution degraded to the bit-identical serial path.
+
+    Issued exactly once per executor when supervision gives up on the
+    worker pool.  Structured so operators can filter on the category: the
+    message names the failing stage and the reason, and the degradation
+    changes wall-clock time only -- never the built index.
+    """
+
+
+class TaskFailed(RuntimeError):
+    """A supervised task failed permanently (retries exhausted or fatal error)."""
+
+    def __init__(self, index: int, attempts: int, cause: BaseException | None):
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(
+            f"pool task {index} failed permanently after {attempts} attempt(s)"
+            f"{detail}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.cause = cause
+
+
+class PoolBroken(RuntimeError):
+    """The pool itself cannot accept or return work (submission failed)."""
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs of one supervised dispatch.
+
+    Attributes
+    ----------
+    task_timeout:
+        Seconds to wait for one task attempt before declaring its worker
+        dead or wedged.  This is a liveness backstop, not a performance
+        bound: set it far above any legitimate task duration, because a
+        retry racing a merely-slow straggler wastes a core (correctness is
+        still safe -- stragglers write either identical bytes or discarded
+        blocks).  The default is generous for exactly that reason.
+    retries:
+        Re-submissions allowed per task after its first attempt.
+    backoff_base / backoff_cap:
+        Exponential backoff between attempts: ``min(cap, base * 2**attempt)``
+        seconds.  Gives transient conditions (memory pressure, fd
+        exhaustion) time to clear instead of hammering the pool.
+    transient:
+        Exception types worth retrying.  Everything else -- a
+        ``ValueError`` from a shape mismatch, say -- is a bug, fails the
+        dispatch immediately, and surfaces through the degradation warning
+        rather than being silently retried.
+    """
+
+    task_timeout: float = 300.0
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    transient: tuple = (OSError, MemoryError)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before re-submission number ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+
+
+def _submit(pool, func, args):
+    """Submit one task, converting submission failure into PoolBroken."""
+    try:
+        fault_point("parallel.dispatch")
+        return pool.apply_async(func, args)
+    except Exception as error:
+        raise PoolBroken(f"worker pool cannot accept tasks: {error!r}") from error
+
+
+def run_supervised(pool, func, tasks, *, policy: SupervisionPolicy,
+                   respawn=None) -> int:
+    """Execute every task on ``pool``, retrying failures within ``policy``.
+
+    Parameters
+    ----------
+    pool:
+        A ``multiprocessing.Pool`` (or compatible) the tasks run on.
+    func:
+        Picklable worker entry point.
+    tasks:
+        Sequence of argument tuples; task ``i`` is ``func(*tasks[i])``.
+        Tasks must be deterministic and independently re-runnable.
+    policy:
+        Timeouts/retry/backoff knobs; see :class:`SupervisionPolicy`.
+    respawn:
+        Optional ``(index, attempt) -> args`` hook producing the argument
+        tuple for a *retry* of task ``index``.  Callers whose workers
+        accumulate (rather than idempotently overwrite) use it to hand
+        each retry a fresh output block, keeping half-written first
+        attempts out of the merge.  ``None`` retries with the original
+        arguments.
+
+    Raises :class:`TaskFailed` on permanent task failure, :class:`PoolBroken`
+    when the pool cannot accept work.  On success, every task has run to
+    completion exactly once *from the merge's point of view*: the output
+    region named by each task's final (completed) argument tuple holds the
+    full deterministic result.
+
+    Returns the number of **lost attempts** -- submissions that never
+    produced a result (worker dead or wedged past the timeout).  A lost
+    attempt permanently strands its entry in the pool's result cache, after
+    which ``Pool.close()`` + ``join()`` would block forever waiting for a
+    result that cannot arrive; a caller seeing a nonzero count must tear
+    such a pool down with ``terminate()`` even though the dispatch as a
+    whole succeeded.
+    """
+    # Submit everything up front -- workers start on later shards while the
+    # master awaits earlier ones -- then await in task order.
+    attempts = [1] * len(tasks)
+    lost = 0
+    pending = [_submit(pool, func, args) for args in tasks]
+    for index in range(len(tasks)):
+        while True:
+            try:
+                pending[index].get(timeout=policy.task_timeout)
+                break
+            except multiprocessing.TimeoutError as error:
+                cause: BaseException = error
+                lost += 1
+            except policy.transient as error:
+                cause = error
+            except Exception as error:
+                raise TaskFailed(index, attempts[index], error) from error
+            if attempts[index] > policy.retries:
+                raise TaskFailed(index, attempts[index], cause) from cause
+            time.sleep(policy.backoff(attempts[index]))
+            args = tasks[index] if respawn is None else respawn(
+                index, attempts[index]
+            )
+            attempts[index] += 1
+            pending[index] = _submit(pool, func, args)
+    return lost

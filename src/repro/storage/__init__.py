@@ -7,10 +7,25 @@ survives the process that built it.  This package flattens a
 uncompressed ``.npz`` plus a JSON header, and memory-maps them back on load
 -- the single construction seam behind ``ScanIndex.save`` / ``ScanIndex.load``
 and the CLI's ``index build`` / ``index query`` workflow.
+
+Because that one artifact is also the thing every later session depends on,
+persistence is crash-safe and verifiable (:mod:`repro.storage.integrity`):
+saves commit through an fsynced rename protocol that can only ever leave the
+old-valid or new-valid artifact, headers carry per-column CRC-32 checksums,
+``verify_artifact`` proves a directory consistent (``repro index verify``),
+and a load that finds the target missing mid-commit rolls back from the
+parked backup with a lineage check.
 """
 
 from .artifact import IndexArtifact, load_index, save_index
 from .format import FORMAT_NAME, FORMAT_VERSION, ArtifactFormatError
+from .integrity import (
+    ArtifactIntegrityError,
+    VerifyReport,
+    clean_stale_scratch,
+    recover_artifact,
+    verify_artifact,
+)
 
 __all__ = [
     "IndexArtifact",
@@ -19,4 +34,9 @@ __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "ArtifactFormatError",
+    "ArtifactIntegrityError",
+    "VerifyReport",
+    "clean_stale_scratch",
+    "recover_artifact",
+    "verify_artifact",
 ]

@@ -41,15 +41,23 @@ from ..graphs.graph import Graph
 from ..parallel.metrics import CostReport
 from ..similarity.exact import EdgeSimilarities
 from .format import (
-    COLUMNS_FILE,
     FORMAT_NAME,
     FORMAT_VERSION,
-    ArtifactFormatError,
+    check_column_shapes,
     read_columns,
     read_header,
     validate_columns,
     write_columns,
     write_header,
+)
+from .integrity import (
+    clean_stale_scratch,
+    column_checksum,
+    commit_artifact,
+    fsync_scratch,
+    recover_artifact,
+    scratch_path,
+    verify_checksums,
 )
 
 __all__ = ["IndexArtifact", "save_index", "load_index"]
@@ -119,8 +127,14 @@ class IndexArtifact:
             "num_vertices": graph.num_vertices,
             "num_edges": graph.num_edges,
             "weighted": graph.is_weighted,
+            # Per-column CRC-32 (format version 3): deep verification can
+            # prove the stored bytes are the ones this process computed.
             "columns": {
-                name: {"dtype": str(column.dtype), "length": int(column.shape[0])}
+                name: {
+                    "dtype": str(column.dtype),
+                    "length": int(column.shape[0]),
+                    "crc32": column_checksum(column),
+                }
                 for name, column in columns.items()
             },
             "construction": {
@@ -193,44 +207,71 @@ class IndexArtifact:
     def save(self, path: str | Path) -> Path:
         """Write the artifact directory (``header.json`` + ``columns.npz``).
 
-        The write is staged: both files land in a scratch directory next to
-        the target, which is swapped in only once complete.  An interrupted
-        save therefore never leaves a directory that mixes new columns with
-        a stale header (which would pass validation and silently serve wrong
-        scores) -- the target is either the old artifact, absent, or the new
-        one.
+        Crash-safe: both files land in a scratch sibling which is fsynced
+        to stable storage *before* any rename, then swapped in through the
+        backup-and-rename commit of :func:`repro.storage.integrity.
+        commit_artifact`.  A save that dies at any instant -- mid-archive,
+        between the renames, before cleanup -- leaves the target as either
+        the complete old artifact, the complete new one, or (in the
+        narrow between-renames window) the old artifact parked under a
+        backup name from which the next load rolls back.  Never a torn mix,
+        and never a directory mixing new columns with a stale header (which
+        would pass validation and silently serve wrong scores).  Leftover
+        scratch directories of dead writers are swept on entry.
         """
         directory = Path(path)
         directory.parent.mkdir(parents=True, exist_ok=True)
-        scratch = directory.parent / f".{directory.name}.tmp-{os.getpid()}"
-        if scratch.exists():
-            shutil.rmtree(scratch)
+        clean_stale_scratch(directory)
+        scratch = scratch_path(directory)
         scratch.mkdir()
         try:
             write_columns(scratch, self.columns)
             write_header(scratch, self.meta)
-            if directory.exists():
-                shutil.rmtree(directory)
-            os.replace(scratch, directory)
-        except BaseException:
+            fsync_scratch(scratch)
+            commit_artifact(scratch, directory)
+        except Exception:
+            # Ordinary failures (disk full, permission) tidy their staging;
+            # simulated crashes are BaseExceptions and leave the torn state
+            # on disk exactly as a real death would.
             shutil.rmtree(scratch, ignore_errors=True)
             raise
         return directory
 
     @classmethod
-    def load(cls, path: str | Path, *, mmap_mode: str | None = "r") -> "IndexArtifact":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        mmap_mode: str | None = "r",
+        verify: bool = False,
+    ) -> "IndexArtifact":
         """Read an artifact directory, memory-mapping columns by default.
+
+        Every load runs the fast integrity check: header parse, per-column
+        dtype/length cross-check, and graph-shape consistency.
+        ``verify=True`` additionally compares every column's CRC-32 against
+        the header (the deep check; reads every byte).  A target directory
+        missing because a previous writer died between its commit renames
+        is first recovered from its parked backup
+        (:func:`repro.storage.integrity.recover_artifact`), so an
+        interrupted in-place ``repro update`` can never strand its readers.
 
         Raises :class:`~repro.storage.format.ArtifactFormatError` when the
         directory is not an artifact, the header is corrupt, the format
         version does not match, or the stored columns disagree with the
-        header's dtype/length records.
+        header's dtype/length records -- and its subclass
+        :class:`~repro.storage.integrity.ArtifactIntegrityError` when
+        stored bytes fail their checksums or recovery is unsafe.
         """
         directory = Path(path)
+        if not directory.exists():
+            recover_artifact(directory)
         header = read_header(directory)
         columns = read_columns(directory, mmap_mode=mmap_mode)
         validate_columns(header, columns)
-        _check_shapes(header, columns, directory)
+        check_column_shapes(header, columns, directory)
+        if verify:
+            verify_checksums(header, columns, context=str(directory))
         return cls(columns=columns, meta=header)
 
     # ------------------------------------------------------------------
@@ -263,38 +304,13 @@ class IndexArtifact:
         )
 
 
-def _check_shapes(header: dict, columns: dict[str, np.ndarray], directory: Path) -> None:
-    """Structural consistency checks tying the columns to the graph shape."""
-    n = int(header["num_vertices"])
-    m = int(header["num_edges"])
-    checks = {
-        "graph_indptr": n + 1,
-        "graph_indices": 2 * m,
-        "graph_arc_edge_ids": 2 * m,
-        "edge_similarities": m,
-        "no_neighbors": 2 * m,
-        "no_similarities": 2 * m,
-    }
-    if "edge_numerators" in columns:
-        checks["edge_numerators"] = m
-    for name, expected in checks.items():
-        if int(columns[name].shape[0]) != expected:
-            raise ArtifactFormatError(
-                f"{directory / COLUMNS_FILE}: column {name!r} has length "
-                f"{columns[name].shape[0]}, expected {expected} for a graph with "
-                f"{n} vertices and {m} edges"
-            )
-    if int(columns["graph_indptr"][-1]) != 2 * m:
-        raise ArtifactFormatError(
-            f"{directory / COLUMNS_FILE}: graph_indptr[-1] != 2m (corrupt CSR offsets)"
-        )
-
-
 def save_index(index: ScanIndex, path: str | Path) -> Path:
     """Flatten ``index`` and write it to ``path`` (see :class:`IndexArtifact`)."""
     return IndexArtifact.from_index(index).save(path)
 
 
-def load_index(path: str | Path, *, mmap_mode: str | None = "r") -> ScanIndex:
+def load_index(
+    path: str | Path, *, mmap_mode: str | None = "r", verify: bool = False
+) -> ScanIndex:
     """Load an artifact from ``path`` and reassemble the queryable index."""
-    return IndexArtifact.load(path, mmap_mode=mmap_mode).to_index()
+    return IndexArtifact.load(path, mmap_mode=mmap_mode, verify=verify).to_index()

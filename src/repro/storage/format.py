@@ -9,12 +9,17 @@ An index artifact is a directory with exactly two entries:
     * ``version`` -- integer format version (:data:`FORMAT_VERSION`);
       readers accept any version in :data:`SUPPORTED_VERSIONS` and reject
       everything else.  Version 2 added the ``updates`` lineage field;
-      version-1 artifacts load as lineage-free;
+      version-1 artifacts load as lineage-free.  Version 3 added per-column
+      ``crc32`` checksums; version-2 artifacts load but deep verification
+      has nothing recorded to check;
     * ``measure`` / ``backend`` -- similarity measure and engine the index
       was built with (``backend`` is ``"lsh"`` for approximate indexes);
     * ``num_vertices`` / ``num_edges`` / ``weighted`` -- graph shape;
-    * ``columns`` -- mapping from column name to ``{"dtype", "length"}``,
-      validated against the loaded arrays;
+    * ``columns`` -- mapping from column name to ``{"dtype", "length",
+      "crc32"}``; dtype/length are validated against the loaded arrays on
+      every load, the CRC-32 of the raw column bytes on demand
+      (:func:`repro.storage.integrity.verify_artifact` with ``deep=True``,
+      or ``repro index verify --deep``);
     * ``construction`` -- the work/span/wall-clock record of the original
       construction (``label``, ``work``, ``span``, ``wall_seconds``);
     * ``updates`` (version ≥ 2, optional) -- the update lineage: one record
@@ -62,7 +67,11 @@ performs no similarity computation and no sorting of any kind (the
 Readers must reject anything they cannot prove consistent -- wrong format
 name or version, header/column disagreement, truncated archives -- by
 raising :class:`ArtifactFormatError`, which the CLI surfaces as a clean
-operator error rather than a traceback.
+operator error rather than a traceback.  Durability of the files themselves
+-- checksums, the fsynced rename commit, crash recovery -- lives in
+:mod:`repro.storage.integrity`; the writers here expose the byte-level
+fault points (``storage.columns.write``, ``storage.header.write``) that the
+crash tests tear mid-write.
 """
 
 from __future__ import annotations
@@ -74,13 +83,17 @@ from pathlib import Path
 
 import numpy as np
 
+from ..testing.faults import fault_point
+
 #: Magic string identifying the artifact format.
 FORMAT_NAME = "repro-scan-index"
-#: Format version written by this build (2 added the update lineage).
-FORMAT_VERSION = 2
+#: Format version written by this build (2 added the update lineage,
+#: 3 the per-column crc32 checksums).
+FORMAT_VERSION = 3
 #: Versions this build can read; version 1 lacks the ``updates`` field and
-#: loads as a lineage-free artifact -- everything else is identical.
-SUPPORTED_VERSIONS = (1, 2)
+#: loads as a lineage-free artifact, version 2 lacks column checksums and
+#: loads as deep-unverifiable -- everything else is identical.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: File names inside an artifact directory.
 HEADER_FILE = "header.json"
@@ -117,6 +130,7 @@ class ArtifactFormatError(ValueError):
 def write_header(directory: Path, meta: dict) -> Path:
     """Write ``header.json`` for an artifact directory and return its path."""
     path = directory / HEADER_FILE
+    fault_point("storage.header.write")
     path.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -195,10 +209,66 @@ def validate_columns(header: dict, columns: dict[str, np.ndarray]) -> None:
             )
 
 
+def check_column_shapes(
+    header: dict, columns: dict[str, np.ndarray], directory: Path
+) -> None:
+    """Structural consistency checks tying the columns to the graph shape."""
+    n = int(header["num_vertices"])
+    m = int(header["num_edges"])
+    checks = {
+        "graph_indptr": n + 1,
+        "graph_indices": 2 * m,
+        "graph_arc_edge_ids": 2 * m,
+        "edge_similarities": m,
+        "no_neighbors": 2 * m,
+        "no_similarities": 2 * m,
+    }
+    if "edge_numerators" in columns:
+        checks["edge_numerators"] = m
+    for name, expected in checks.items():
+        if int(columns[name].shape[0]) != expected:
+            raise ArtifactFormatError(
+                f"{Path(directory) / COLUMNS_FILE}: column {name!r} has length "
+                f"{columns[name].shape[0]}, expected {expected} for a graph with "
+                f"{n} vertices and {m} edges"
+            )
+    if int(columns["graph_indptr"][-1]) != 2 * m:
+        raise ArtifactFormatError(
+            f"{Path(directory) / COLUMNS_FILE}: graph_indptr[-1] != 2m "
+            "(corrupt CSR offsets)"
+        )
+
+
+class _CountingWriter:
+    """File proxy that counts written bytes and reports them to a fault point.
+
+    Wraps the open archive file during :func:`write_columns` so the crash
+    tests can tear the write after an exact byte offset -- the stand-in for
+    a process dying (or the kernel dropping power) mid-``write``.  The
+    fault point fires *after* each chunk lands, so the file really holds
+    the partial prefix a torn write would leave.
+    """
+
+    def __init__(self, handle, site: str):
+        self._handle = handle
+        self._site = site
+        self.written = 0
+
+    def write(self, data) -> int:
+        count = self._handle.write(data)
+        self.written += len(data)
+        fault_point(self._site, bytes_written=self.written)
+        return count
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+
 def write_columns(directory: Path, columns: dict[str, np.ndarray]) -> Path:
     """Write the columns as an uncompressed ``.npz`` archive (mmap-friendly)."""
     path = directory / COLUMNS_FILE
-    np.savez(path, **columns)
+    with path.open("wb") as handle:
+        np.savez(_CountingWriter(handle, "storage.columns.write"), **columns)
     return path
 
 

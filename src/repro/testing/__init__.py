@@ -1,0 +1,29 @@
+"""Test-facing machinery shipped with the library: deterministic fault injection.
+
+Lives under ``src/`` rather than ``tests/`` because production code is
+instrumented against it: the storage commit protocol and the supervised
+parallel executor call :func:`~repro.testing.faults.fault_point` at their
+crash-interesting instants, and those calls must resolve wherever the
+library is imported from -- including inside forked pool workers, which
+never see the test tree.  See :mod:`repro.testing.faults` for the model.
+"""
+
+from .faults import (
+    FAULT_SITES,
+    FaultError,
+    FaultSpec,
+    SimulatedCrash,
+    active_plan,
+    fault_point,
+    inject,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultError",
+    "FaultSpec",
+    "SimulatedCrash",
+    "active_plan",
+    "fault_point",
+    "inject",
+]

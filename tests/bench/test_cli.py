@@ -254,3 +254,97 @@ class TestArtifactErrorReporting:
         (artifact / "columns.npz").write_bytes(b"definitely not a zip file")
         assert main(["index", "query", str(artifact)]) == 2
         assert "error: cannot load index artifact" in capsys.readouterr().err
+
+
+class TestIndexVerifyCommand:
+    def test_fast_verify_reports_structure_and_checksums(self, artifact, capsys):
+        assert main(["index", "verify", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "format: version 3" in out
+        assert "carry checksums" in out
+        assert "stale scratch: none" in out
+
+    def test_deep_verify_checks_stored_bytes(self, artifact, capsys):
+        assert main(["index", "verify", str(artifact), "--deep"]) == 0
+        assert "verified against stored bytes" in capsys.readouterr().out
+
+    def test_deep_verify_catches_corruption_fast_mode_misses(
+        self, artifact, capsys
+    ):
+        archive = artifact / "columns.npz"
+        data = bytearray(archive.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        archive.write_bytes(data)
+        assert main(["index", "verify", str(artifact)]) == 0
+        assert main(["index", "verify", str(artifact), "--deep"]) == 2
+        err = capsys.readouterr().err
+        assert "fails verification" in err and "checksum" in err
+        assert "Traceback" not in err
+
+    def test_missing_artifact_is_an_operator_error(self, tmp_path, capsys):
+        assert main(["index", "verify", str(tmp_path / "nowhere")]) == 2
+        err = capsys.readouterr().err
+        assert "fails verification" in err and "Traceback" not in err
+
+    def test_clean_flag_sweeps_stale_scratch(self, artifact, capsys):
+        from repro.storage.integrity import scratch_path
+
+        leftover = scratch_path(artifact, pid=2**22 + 77)
+        leftover.mkdir()
+        assert main(["index", "verify", str(artifact)]) == 0
+        assert leftover.name in capsys.readouterr().out
+        assert main(["index", "verify", str(artifact), "--clean"]) == 0
+        out = capsys.readouterr().out
+        assert f"removed stale scratch {leftover.name}" in out
+        assert "stale scratch: none" in out
+        assert not leftover.exists()
+
+    def test_verify_recovers_a_crashed_commit(self, artifact, capsys):
+        import os
+
+        from repro.storage.integrity import backup_path
+
+        os.replace(artifact, backup_path(artifact, pid=2**22 + 88))
+        assert main(["index", "verify", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: rolled-back from parked backup" in out
+        assert main(["index", "query", str(artifact)]) == 0
+
+
+class TestUpdateDurability:
+    """``repro update`` stays a clean operator surface under corruption."""
+
+    def _delta(self, tmp_path):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("- 0 1\n")
+        return delta
+
+    def test_unsavable_output_is_an_operator_error(
+        self, artifact, tmp_path, capsys
+    ):
+        # The save path's clean-error contract: a target whose parent is a
+        # regular file cannot hold an artifact directory, and the failure
+        # surfaces as a message, not a traceback.
+        blocker = tmp_path / "a-file"
+        blocker.write_text("in the way")
+        out_path = blocker / "nested" / "updated.scanidx"
+        code = main(["update", str(artifact), str(self._delta(tmp_path)),
+                     "--output", str(out_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: cannot save updated artifact" in err
+        assert "Traceback" not in err
+
+    def test_interrupted_update_save_leaves_loadable_artifact(
+        self, artifact, tmp_path, capsys
+    ):
+        from repro.testing import FaultSpec, inject
+
+        with inject(FaultSpec(site="storage.commit.pre_swap")):
+            with pytest.raises(BaseException, match="simulated crash"):
+                main(["update", str(artifact), str(self._delta(tmp_path))])
+        capsys.readouterr()
+        # the next operator command transparently recovers the old state
+        assert main(["index", "verify", str(artifact), "--deep"]) == 0
+        assert "recovery: rolled-back" in capsys.readouterr().out
+        assert main(["index", "query", str(artifact)]) == 0

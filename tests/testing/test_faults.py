@@ -1,0 +1,216 @@
+"""Tests for the fault-injection harness itself (``repro.testing.faults``).
+
+The chaos suite's conclusions are only as trustworthy as the harness that
+injects its failures, so the harness gets its own proofs: arming round-trips
+through the environment (how worker processes inherit plans), trigger
+predicates (site, task, byte threshold, bounded count) fire exactly as
+specified, and every fault point named in the registry is actually
+instrumented in the library -- and vice versa.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.testing import (
+    FAULT_SITES,
+    FaultError,
+    FaultSpec,
+    SimulatedCrash,
+    active_plan,
+    fault_point,
+    inject,
+)
+from repro.testing.faults import ENV_VAR
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault site"):
+            FaultSpec(site="storage.no.such.site").validate()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault action"):
+            FaultSpec(site="parallel.dispatch", action="explode").validate()
+
+    def test_unknown_error_type_rejected(self):
+        with pytest.raises(FaultError, match="unknown error type"):
+            FaultSpec(site="parallel.dispatch", action="raise",
+                      error="KeyboardInterrupt").validate()
+
+    def test_bounded_kill_requires_token(self):
+        with pytest.raises(FaultError, match="token"):
+            FaultSpec(site="parallel.worker.task", action="kill",
+                      times=1).validate()
+
+    def test_inject_validates_eagerly(self):
+        with pytest.raises(FaultError):
+            with inject(FaultSpec(site="typo.site")):
+                pass  # pragma: no cover - arming must already have failed
+
+
+# ----------------------------------------------------------------------
+# Arming and the environment round-trip
+# ----------------------------------------------------------------------
+class TestInject:
+    def test_noop_when_nothing_armed(self):
+        assert active_plan() == ()
+        fault_point("storage.commit.pre_swap")  # must not raise
+
+    def test_plan_visible_and_mirrored_to_environ(self):
+        spec = FaultSpec(site="storage.commit.pre_swap")
+        assert ENV_VAR not in os.environ
+        with inject(spec):
+            assert active_plan() == (spec,)
+            assert ENV_VAR in os.environ
+        assert active_plan() == ()
+        assert ENV_VAR not in os.environ
+
+    def test_nesting_replaces_and_restores(self):
+        outer = FaultSpec(site="storage.commit.pre_backup")
+        inner = FaultSpec(site="storage.commit.pre_cleanup")
+        with inject(outer):
+            with inject(inner):
+                assert active_plan() == (inner,)
+            # The contextmanager restores the *environment*; the in-process
+            # plan re-parses from it on the next fault_point/active_plan.
+            assert active_plan() == (outer,)
+
+    def test_child_process_inherits_plan_via_environment(self):
+        # The real mechanism worker processes rely on: a subprocess that
+        # only sees os.environ must fire the armed fault.
+        code = (
+            "from repro.testing import fault_point, SimulatedCrash\n"
+            "try:\n"
+            "    fault_point('storage.commit.pre_swap')\n"
+            "except SimulatedCrash:\n"
+            "    raise SystemExit(42)\n"
+            "raise SystemExit(1)\n"
+        )
+        with inject(FaultSpec(site="storage.commit.pre_swap")):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(SRC.parent)
+            result = subprocess.run([sys.executable, "-c", code], env=env)
+        assert result.returncode == 42
+
+
+# ----------------------------------------------------------------------
+# Trigger predicates
+# ----------------------------------------------------------------------
+class TestTriggers:
+    def test_crash_raises_simulated_crash_and_not_exception(self):
+        with inject(FaultSpec(site="storage.commit.pre_swap")):
+            with pytest.raises(SimulatedCrash) as info:
+                fault_point("storage.commit.pre_swap")
+        # The whole point: `except Exception` cleanup must not catch it.
+        assert not isinstance(info.value, Exception)
+        assert info.value.site == "storage.commit.pre_swap"
+
+    def test_site_mismatch_never_fires(self):
+        with inject(FaultSpec(site="storage.commit.pre_swap")):
+            fault_point("storage.commit.pre_backup")  # must not raise
+
+    def test_raise_action_raises_named_error(self):
+        with inject(FaultSpec(site="parallel.dispatch", action="raise",
+                              error="MemoryError")):
+            with pytest.raises(MemoryError, match="injected"):
+                fault_point("parallel.dispatch")
+
+    def test_after_bytes_threshold(self):
+        with inject(FaultSpec(site="storage.columns.write", after_bytes=100)):
+            fault_point("storage.columns.write", bytes_written=99)
+            with pytest.raises(SimulatedCrash, match="after 100 bytes"):
+                fault_point("storage.columns.write", bytes_written=100)
+
+    def test_byte_armed_fault_ignores_byteless_reaches(self):
+        with inject(FaultSpec(site="storage.columns.write", after_bytes=1)):
+            fault_point("storage.columns.write")  # no count -> no fire
+
+    def test_task_gating(self):
+        with inject(FaultSpec(site="parallel.worker.task", action="raise",
+                              task=3)):
+            fault_point("parallel.worker.task", task=2)
+            with pytest.raises(OSError):
+                fault_point("parallel.worker.task", task=3)
+
+    def test_times_bounds_in_process_firings(self):
+        with inject(FaultSpec(site="parallel.dispatch", action="raise",
+                              times=2)):
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    fault_point("parallel.dispatch")
+            fault_point("parallel.dispatch")  # spent: passes from now on
+            fault_point("parallel.dispatch")
+
+    def test_token_counts_firings_across_plans(self, tmp_path):
+        # The cross-process counter: a fresh plan (fresh process stand-in)
+        # sees the token file and knows the fault is spent.
+        token = tmp_path / "fired"
+        spec = FaultSpec(site="parallel.dispatch", action="raise",
+                         times=1, token=str(token))
+        with inject(spec):
+            with pytest.raises(OSError):
+                fault_point("parallel.dispatch")
+        assert token.stat().st_size == 1
+        with inject(spec):  # simulates the retry in a replacement process
+            fault_point("parallel.dispatch")
+
+    def test_rearming_resets_in_process_counts(self):
+        spec = FaultSpec(site="parallel.dispatch", action="raise", times=1)
+        for _ in range(2):
+            with inject(spec):
+                with pytest.raises(OSError):
+                    fault_point("parallel.dispatch")
+
+
+# ----------------------------------------------------------------------
+# Registry <-> instrumentation cross-check
+# ----------------------------------------------------------------------
+def _instrumented_sites() -> set[str]:
+    """Every registered site name quoted in library code under src/repro.
+
+    A site reaches :func:`fault_point` either directly
+    (``fault_point("storage.header.write")``) or through a wrapper holding
+    the name (the byte-counting writer proxy), so the honest signal is the
+    *quoted string literal* -- docstrings refer to sites in double backticks,
+    never quotes.
+    """
+    import re
+
+    sites = set()
+    pattern = re.compile(
+        "|".join('"' + re.escape(site) + '"' for site in FAULT_SITES)
+    )
+    for path in SRC.rglob("*.py"):
+        if path.name == "faults.py":
+            continue
+        sites |= {match.strip('"') for match in pattern.findall(path.read_text())}
+    return sites
+
+
+def test_every_registered_site_is_instrumented():
+    missing = set(FAULT_SITES) - _instrumented_sites()
+    assert not missing, f"registered but never reached: {sorted(missing)}"
+
+
+def test_every_instrumented_site_is_registered():
+    # The converse direction scans literal fault_point("...") call sites:
+    # an unregistered name there would validate-fail every plan arming it.
+    import re
+
+    unknown = set()
+    for path in SRC.rglob("*.py"):
+        if path.name == "faults.py":
+            continue
+        unknown |= set(
+            re.findall(r"fault_point\(\s*\"([^\"]+)\"", path.read_text())
+        ) - set(FAULT_SITES)
+    assert not unknown, f"instrumented but unregistered: {sorted(unknown)}"
