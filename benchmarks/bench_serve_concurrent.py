@@ -1,0 +1,295 @@
+"""Concurrent serving-tier benchmark: p50/p99 latency and throughput vs workers.
+
+Not a figure of the paper -- this measures the repo's network serving tier
+(:mod:`repro.serve.server`): a ``repro serve --port --workers N`` server
+subprocess over one mmapped artifact, loaded by concurrent client
+connections replaying a seeded ``MU:EPSILON`` request stream.  For each
+worker count the benchmark reports wall-clock throughput plus the p50/p99
+per-request latency across all clients -- the tail-aware numbers the
+SIGMOD-style serving story is judged by -- and verifies **every** response
+bit-identical to a single in-process :class:`~repro.serve.session.
+ClusterSession` answering the same stream (``cache=hit/miss`` stripped,
+since affinity makes hit patterns legitimately differ across worker
+counts).
+
+The environment block records the container's CPU count: on a single-CPU
+box the worker configs measure dispatch overhead honestly rather than
+showing scaling that the hardware cannot deliver.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_concurrent.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve_concurrent.py --smoke   # CI
+
+or through pytest (smoke-sized, asserts bit-identity and config coverage)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_concurrent.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ScanIndex
+from repro.bench import format_table
+from repro.graphs import planted_partition
+from repro.serve import ServeClient
+from repro.serve import wire
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve_concurrent.json"
+
+#: (num_clusters, cluster_size, p_intra, p_inter) of the served graph.
+FULL_GRAPH = (25, 50, 0.30, 0.006)
+SMOKE_GRAPH = (4, 20, 0.30, 0.02)
+
+#: Worker counts per run flavour (>= 2 configs each, per the acceptance bar).
+FULL_WORKER_CONFIGS = (1, 2, 4)
+SMOKE_WORKER_CONFIGS = (1, 2)
+
+#: Concurrent client connections replaying the stream.
+FULL_CLIENTS = 4
+SMOKE_CLIENTS = 2
+
+#: Distinct (μ, ε) settings and stream repeats (mirrors bench_serving.py).
+WORKLOAD_MUS = (2, 3, 5, 8)
+WORKLOAD_EPSILONS = (0.3, 0.45, 0.6, 0.75)
+FULL_REPEATS = 12
+SMOKE_REPEATS = 3
+
+_BANNER = re.compile(r"listening on ([0-9.]+):(\d+) \((\d+) workers?\)")
+
+#: Seconds to wait for the server banner / subprocess exit.
+STARTUP_TIMEOUT = 60.0
+
+
+def request_stream(repeats: int, seed: int = 0) -> list[tuple[int, float]]:
+    """A seeded repeated-workload stream over the distinct settings grid."""
+    distinct = [(mu, eps) for mu in WORKLOAD_MUS for eps in WORKLOAD_EPSILONS]
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(distinct), size=repeats * len(distinct))
+    return [distinct[p] for p in picks.tolist()]
+
+
+def reference_responses(
+    artifact_path: Path, stream: list[tuple[int, float]]
+) -> list[str]:
+    """The single-session answers, formatted exactly as the server replies.
+
+    One in-process :class:`ClusterSession` serves the whole stream in order;
+    :func:`repro.serve.wire.strip_cache_field` removes the only field that
+    legitimately differs under concurrency (per-worker cache hit patterns).
+    """
+    session = ScanIndex.load(artifact_path).session()
+    return [
+        wire.strip_cache_field(
+            wire.format_response(
+                session.serve(mu, epsilon, deterministic_borders=True)
+            )
+        )
+        for mu, epsilon in stream
+    ]
+
+
+def start_server(artifact_path: Path, workers: int) -> tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve --port 0`` and parse the bound address banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(artifact_path),
+            "--port", "0", "--workers", str(workers), "--deterministic",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    banner = process.stderr.readline()
+    match = _BANNER.search(banner or "")
+    if match is None or time.monotonic() > deadline:
+        process.terminate()
+        process.wait(timeout=STARTUP_TIMEOUT)
+        raise RuntimeError(f"server failed to start (banner: {banner!r})")
+    return process, match.group(1), int(match.group(2))
+
+
+def _replay_slice(
+    host: str,
+    port: int,
+    requests: list[str],
+    expected: list[str],
+    latencies: list[float],
+    mismatches: list[int],
+) -> None:
+    """One client connection replaying its slice, recording latency/identity."""
+    wrong = 0
+    with ServeClient(host, port) as client:
+        for line, want in zip(requests, expected):
+            started = time.perf_counter()
+            response = client.request(line)
+            latencies.append(time.perf_counter() - started)
+            if wire.strip_cache_field(response) != want:
+                wrong += 1
+    mismatches.append(wrong)
+
+
+def bench_config(
+    artifact_path: Path,
+    workers: int,
+    clients: int,
+    stream: list[tuple[int, float]],
+    expected: list[str],
+) -> dict:
+    """Replay the stream through ``clients`` connections against one server."""
+    process, host, port = start_server(artifact_path, workers)
+    try:
+        request_lines = [f"{mu}:{epsilon:g}" for mu, epsilon in stream]
+        # Strided slices so every client mixes all (μ, ε) settings -- a
+        # contiguous split would hand each client one hot region and
+        # understate routing spread.
+        threads = []
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        mismatches: list[list[int]] = [[] for _ in range(clients)]
+        for c in range(clients):
+            threads.append(threading.Thread(
+                target=_replay_slice,
+                args=(host, port, request_lines[c::clients], expected[c::clients],
+                      latencies[c], mismatches[c]),
+            ))
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=STARTUP_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+    flat = [lat for per_client in latencies for lat in per_client]
+    total_mismatches = sum(sum(per_client) for per_client in mismatches)
+    if len(flat) != len(stream):
+        raise RuntimeError(
+            f"{len(stream) - len(flat)} requests went unanswered "
+            f"(workers={workers})"
+        )
+    return {
+        "workers": workers,
+        "clients": clients,
+        "requests": len(stream),
+        "seconds": seconds,
+        "requests_per_second": len(stream) / max(seconds, 1e-12),
+        "p50_seconds": float(np.percentile(flat, 50)),
+        "p99_seconds": float(np.percentile(flat, 99)),
+        "mismatching_responses": total_mismatches,
+    }
+
+
+def run(
+    graph_spec,
+    worker_configs,
+    clients: int,
+    repeats: int,
+    output: Path | None,
+) -> dict:
+    """Benchmark every worker config over one artifact; optionally write JSON."""
+    num_clusters, cluster_size, p_intra, p_inter = graph_spec
+    graph = planted_partition(
+        num_clusters, cluster_size, p_intra=p_intra, p_inter=p_inter, seed=0
+    )
+    index = ScanIndex.build(graph)
+    stream = request_stream(repeats)
+    with tempfile.TemporaryDirectory() as scratch:
+        artifact_path = Path(scratch) / "index.scanidx"
+        index.save(artifact_path)
+        expected = reference_responses(artifact_path, stream)
+        configs = [
+            bench_config(artifact_path, workers, clients, stream, expected)
+            for workers in worker_configs
+        ]
+    results = {
+        "benchmark": "serve_concurrent",
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "graph": {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "num_arcs": graph.num_arcs,
+        },
+        "configs": configs,
+    }
+    rows = [
+        [
+            record["workers"],
+            record["clients"],
+            record["requests"],
+            round(record["requests_per_second"], 1),
+            round(record["p50_seconds"] * 1e3, 3),
+            round(record["p99_seconds"] * 1e3, 3),
+            record["mismatching_responses"],
+        ]
+        for record in configs
+    ]
+    print(format_table(
+        ["workers", "clients", "requests", "rps", "p50_ms", "p99_ms", "mismatches"],
+        rows,
+    ))
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    return results
+
+
+def test_serve_concurrent_smoke(tmp_path):
+    """Smoke run: >= 2 worker configs, every response identical to one session."""
+    results = run(
+        SMOKE_GRAPH, SMOKE_WORKER_CONFIGS, SMOKE_CLIENTS, SMOKE_REPEATS,
+        tmp_path / "BENCH_serve_concurrent.json",
+    )
+    assert (tmp_path / "BENCH_serve_concurrent.json").exists()
+    assert len(results["configs"]) >= 2
+    for record in results["configs"]:
+        assert record["mismatching_responses"] == 0
+        assert record["p50_seconds"] <= record["p99_seconds"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny graph, fewer configs")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        results = run(SMOKE_GRAPH, SMOKE_WORKER_CONFIGS, SMOKE_CLIENTS,
+                      SMOKE_REPEATS, args.output)
+    else:
+        results = run(FULL_GRAPH, FULL_WORKER_CONFIGS, FULL_CLIENTS,
+                      FULL_REPEATS, args.output)
+    for record in results["configs"]:
+        if record["mismatching_responses"]:
+            print("ERROR: concurrent responses diverged from the single session")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

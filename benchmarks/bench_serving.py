@@ -16,10 +16,28 @@ same seeded request stream:
     ``ClusterSession.serve`` with the LRU cache -- steady state after one
     warm pass, repeats answered from the cache.
 
-Each mode is timed (wall-clock, no instrumentation) and then re-run under
+Each mode is timed per request over three passes of the stream (the best
+pass counts: single-shot totals on a shared box swing by ±30%, which is
+larger than the effects being measured), reporting mean throughput plus the
+p50/p99 request latencies of the best pass -- the serving trajectory is
+tail-aware, matching the concurrent-tier numbers in
+``bench_serve_concurrent.py``.  Each mode is then re-run under
 ``tracemalloc`` to record the mean per-request peak allocation, which is
 where the O(n)-per-query tax of the cold path shows up.  Results accumulate
 in ``BENCH_serving.json`` next to the repository root.
+
+On ``recycled_speedup``: the recycled mode answers every request *and*
+builds the compact cacheable payload, which the cold mode does not -- so on
+small graphs, where the dense O(n) arrays that recycling avoids are nearly
+free, recycled throughput sits a few percent below cold.  Bypassing the
+recycled path below a size floor was measured and rejected: computing cold
+and then compacting the dense result (``ClusterSession._admit``) is slower
+than the recycled compute at *every* rung, because re-deriving the core
+prefix and boolean-gathering the dense labels costs more than the recycled
+path's buffer restores.  The crossover where recycling wins outright is
+about 10k vertices (the top rung of the ladder); below it the mode is kept
+because its halved per-request allocation is what the long-lived serving
+workers in ``serve/worker.py`` are after, not raw single-request speed.
 
 Run standalone::
 
@@ -55,6 +73,7 @@ DEFAULT_LADDER = [
     (10, 40, 0.30, 0.010),
     (25, 50, 0.30, 0.006),
     (60, 60, 0.35, 0.005),
+    (120, 80, 0.30, 0.003),
 ]
 TINY_LADDER = [(4, 20, 0.30, 0.02)]
 
@@ -73,11 +92,24 @@ def request_stream(seed: int = 0) -> list[tuple[int, float]]:
     return [distinct[p] for p in picks.tolist()]
 
 
-def _timed(serve_one, stream) -> float:
-    started = time.perf_counter()
-    for mu, epsilon in stream:
-        serve_one(mu, epsilon)
-    return time.perf_counter() - started
+#: Stream passes per timed mode; the best pass is reported.
+TIMING_PASSES = 3
+
+
+def _timed(serve_one, stream) -> tuple[float, list[float]]:
+    """Best-of-``TIMING_PASSES`` stream time plus that pass's latencies."""
+    best_seconds = float("inf")
+    best_latencies: list[float] = []
+    for _ in range(TIMING_PASSES):
+        latencies = []
+        for mu, epsilon in stream:
+            started = time.perf_counter()
+            serve_one(mu, epsilon)
+            latencies.append(time.perf_counter() - started)
+        seconds = sum(latencies)
+        if seconds < best_seconds:
+            best_seconds, best_latencies = seconds, latencies
+    return best_seconds, best_latencies
 
 
 def _mean_peak_alloc(serve_one, stream) -> float:
@@ -139,10 +171,12 @@ def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict
         # cached timing below is the steady state the serving loop reaches.
         modes = {}
         for name, serve_one in (("cold", cold), ("recycled", recycled), ("cached", cached)):
-            seconds = _timed(serve_one, stream)
+            seconds, latencies = _timed(serve_one, stream)
             modes[name] = {
                 "seconds": seconds,
                 "requests_per_second": len(stream) / max(seconds, 1e-12),
+                "p50_seconds": float(np.percentile(latencies, 50)),
+                "p99_seconds": float(np.percentile(latencies, 99)),
                 "mean_peak_alloc_bytes": _mean_peak_alloc(serve_one, stream),
             }
 

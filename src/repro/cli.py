@@ -294,13 +294,56 @@ def _command_update(args: argparse.Namespace) -> int:
 
 def _parse_request(line: str) -> tuple[int, float]:
     """Parse one serve request line (``MU:EPSILON`` or ``MU EPSILON``)."""
-    token = line.replace(":", " ").split()
-    if len(token) != 2:
-        raise ValueError(f"expected MU:EPSILON, got {line.strip()!r}")
-    return int(token[0]), float(token[1])
+    from .serve import wire
+
+    return wire.parse_request(line)
+
+
+def _serve_network(args: argparse.Namespace) -> int:
+    """The concurrent serving tier behind ``repro serve --port``."""
+    import asyncio
+
+    from .serve.server import ClusterServer
+
+    index = _load_artifact(args.artifact)
+    if index is None:
+        return 2
+    del index  # validation only; the server and workers mmap it themselves
+    server = ClusterServer(
+        args.artifact,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        deterministic=args.deterministic,
+    )
+
+    async def run() -> None:
+        host, port = await server.start(args.host, args.port)
+        print(
+            f"listening on {host}:{port} ({server.num_workers} workers)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _serve_network(args)
+    if args.workers != 1:
+        print("error: --workers requires --port (the stdin loop is one process)",
+              file=sys.stderr)
+        return 2
     index = _load_artifact(args.artifact)
     if index is None:
         return 2
@@ -334,18 +377,13 @@ def _command_serve(args: argparse.Namespace) -> int:
                 failures += 1
                 print(f"error: {error}", file=sys.stderr)
                 continue
-            snapped = result.snapped_epsilon
             # flush per response: an interactive client driving the loop over
             # a pipe waits for each answer before sending the next request.
-            print(
-                f"mu={result.mu} epsilon={result.epsilon:g} "
-                f"snapped={'none' if snapped == float('inf') else format(snapped, '.6g')} "
-                f"clusters={result.num_clusters} "
-                f"clustered={result.num_clustered_vertices} "
-                f"cores={result.num_cores} "
-                f"cache={'hit' if result.from_cache else 'miss'}",
-                flush=True,
-            )
+            # The line format is owned by serve.wire so the network tier
+            # answers with the exact same bytes.
+            from .serve import wire
+
+            print(wire.format_response(result), flush=True)
     finally:
         if stream is not sys.stdin:
             stream.close()
@@ -469,6 +507,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deterministic", action="store_true",
                        help="deterministic border attachment "
                             "(most similar core, ties to lower id)")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="serve over TCP instead of stdin: listen on PORT "
+                            "(0 = ephemeral) with a pool of worker processes")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port (default: 127.0.0.1)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for --port mode, each holding "
+                            "a session over the same mmapped artifact "
+                            "(default: 1)")
     serve.set_defaults(handler=_command_serve)
 
     return parser

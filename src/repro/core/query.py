@@ -57,6 +57,15 @@ class QueryBuffers:
         self.labels = np.full(self.num_vertices, UNCLUSTERED, dtype=np.int64)
         self.member = np.zeros(self.num_vertices, dtype=bool)
         self.rank = np.zeros(self.num_vertices, dtype=np.int64)
+        # Recycled arc-gather scratch (see ensure_arc_capacity): sized to the
+        # largest gather seen so far, grown geometrically, so the steady
+        # state of a serving loop allocates nothing for the gather itself.
+        self._arc_capacity = 0
+        self.arc_positions: np.ndarray | None = None
+        self.arc_sources: np.ndarray | None = None
+        self.arc_targets: np.ndarray | None = None
+        self.arc_similarities: np.ndarray | None = None
+        self.arc_flags: np.ndarray | None = None
 
     def check_size(self, num_vertices: int) -> None:
         """Raise when the buffers were sized for a different graph."""
@@ -65,6 +74,27 @@ class QueryBuffers:
                 f"QueryBuffers sized for {self.num_vertices} vertices used "
                 f"with a graph of {num_vertices}"
             )
+
+    def ensure_arc_capacity(self, total: int) -> None:
+        """Grow the recycled arc-gather buffers to hold ``total`` arcs.
+
+        Growth is geometric (at least doubling), so a serving loop pays the
+        allocation a logarithmic number of times and then never again: the
+        cold-miss gather of :func:`_epsilon_similar_arcs` writes into these
+        buffers instead of allocating O(result) fresh arrays per query.
+        ``arc_flags`` rides along for the core-membership gather of the
+        compact serving path.  Views into the buffers are only valid until
+        the next gather against the same :class:`QueryBuffers`.
+        """
+        if total <= self._arc_capacity:
+            return
+        capacity = max(int(total), 2 * self._arc_capacity, 1024)
+        self._arc_capacity = capacity
+        self.arc_positions = np.zeros(capacity, dtype=np.int64)
+        self.arc_sources = np.zeros(capacity, dtype=np.int64)
+        self.arc_targets = np.zeros(capacity, dtype=np.int64)
+        self.arc_similarities = np.zeros(capacity, dtype=np.float64)
+        self.arc_flags = np.zeros(capacity, dtype=bool)
 
 
 def get_cores(
@@ -87,11 +117,43 @@ def get_cores(
     return core_order.cores(mu, epsilon, scheduler=scheduler)
 
 
+def _segmented_fill(out: np.ndarray, values: np.ndarray, block_starts: np.ndarray) -> None:
+    """Fill ``out`` with ``repeat(values, counts)`` without allocating O(total).
+
+    ``block_starts`` are the (strictly increasing) output offsets of the
+    segments, ``block_starts[0] == 0``.  The repeat is delta-encoded -- one
+    scatter of the O(segments) first differences followed by an in-place
+    cumulative sum -- so the only arrays touched at O(total) size are ``out``
+    itself and the cumsum pass over it.
+    """
+    out[:] = 0
+    out[0] = values[0]
+    out[block_starts[1:]] = np.diff(values)
+    np.cumsum(out, out=out)
+
+
+def _take_into(source: np.ndarray, positions: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gather ``source[positions]`` into ``out`` without transient copies.
+
+    ``mode="clip"`` skips the bounds pre-check (the callers' positions are
+    in-bounds by construction: CSR prefix offsets) -- with ``mode="raise"``
+    numpy routes the gather through an output-sized scratch buffer.  Sources
+    that are unaligned (columns mmapped from a pre-alignment artifact) fall
+    back to fancy indexing: ``np.take`` with an ``out`` would silently copy
+    the *entire* source column per call to realign it.
+    """
+    if source.dtype == out.dtype and source.flags.aligned:
+        np.take(source, positions, out=out, mode="clip")
+        return out
+    return source[positions]
+
+
 def _epsilon_similar_arcs(
     neighbor_order,
     cores: np.ndarray,
     epsilon: float,
     scheduler: Scheduler,
+    buffers: QueryBuffers | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """All arcs (core u, neighbor v, similarity) with similarity >= epsilon.
 
@@ -99,6 +161,13 @@ def _epsilon_similar_arcs(
     All prefixes are located with one batched doubling search over the
     neighbor order's similarity array (Algorithm 5, line 4) and gathered with
     a single segmented expansion -- there is no Python-level loop over cores.
+
+    With ``buffers`` the gather writes into the recycled arc buffers
+    (:meth:`QueryBuffers.ensure_arc_capacity`) and returns *views* into them,
+    valid until the next gather against the same buffers: the per-request
+    allocation of the serving loop's cold-miss path drops from four O(result)
+    arrays to the O(cores) search scratch.  The emitted arcs are bit-identical
+    either way.
     """
     starts = neighbor_order.indptr[cores]
     lengths = neighbor_order.indptr[cores + 1] - starts
@@ -113,12 +182,42 @@ def _epsilon_similar_arcs(
     # the number of emitted arcs, span the fork-tree over the non-empty cores.
     num_nonempty = int(np.count_nonzero(counts))
     scheduler.charge(total, ceil_log2(max(num_nonempty, 1)) + 1.0)
-    positions = segmented_ranges(starts, counts)
-    return (
-        np.repeat(cores, counts),
-        neighbor_order.neighbors[positions],
-        neighbor_order.similarities[positions],
+    if buffers is None:
+        positions = segmented_ranges(starts, counts)
+        return (
+            np.repeat(cores, counts),
+            neighbor_order.neighbors[positions],
+            neighbor_order.similarities[positions],
+        )
+
+    # Recycled-buffer gather.  Zero-count cores are dropped first so the
+    # delta-encoded repeats scatter to strictly increasing offsets.
+    buffers.ensure_arc_capacity(total)
+    if num_nonempty != counts.shape[0]:
+        keep = counts > 0
+        cores = cores[keep]
+        starts = starts[keep]
+        counts = counts[keep]
+    block_starts = np.cumsum(counts) - counts
+    # Positions are delta-encoded directly: within a segment each position is
+    # the previous plus one, and at a segment boundary it jumps from the end
+    # of the previous prefix to the next segment's start.  One ones-fill, one
+    # O(segments) scatter and one in-place cumsum -- no iota pass.
+    positions = buffers.arc_positions[:total]
+    positions[:] = 1
+    positions[0] = starts[0]
+    if counts.shape[0] > 1:
+        positions[block_starts[1:]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    np.cumsum(positions, out=positions)
+    arc_sources = buffers.arc_sources[:total]
+    _segmented_fill(arc_sources, cores, block_starts)
+    arc_targets = _take_into(
+        neighbor_order.neighbors, positions, buffers.arc_targets[:total]
     )
+    arc_similarities = _take_into(
+        neighbor_order.similarities, positions, buffers.arc_similarities[:total]
+    )
+    return arc_sources, arc_targets, arc_similarities
 
 
 def cluster_from_arcs(
@@ -278,7 +377,7 @@ def cluster(
             epsilon=epsilon,
         )
     arc_sources, arc_targets, arc_similarities = _epsilon_similar_arcs(
-        neighbor_order, cores, epsilon, scheduler
+        neighbor_order, cores, epsilon, scheduler, buffers=buffers
     )
     return cluster_from_arcs(
         graph,

@@ -29,14 +29,31 @@ class UnionFind:
             raise ValueError(f"number of elements must be non-negative, got {n}")
         self._parent = np.arange(n, dtype=np.int64)
         self._rank = np.zeros(n, dtype=np.int8)
-        self._num_components = n
+        # None marks the count stale; it is recomputed on demand.  Batch
+        # unions invalidate instead of counting distinct demotions per round
+        # (a hashing pass per round that the serving hot path never reads).
+        self._num_components: int | None = n
+        # Scalar union() is the only writer of rank; tracking it lets
+        # reset_batch skip the rank restore for pure-batch usage (serving).
+        self._rank_dirty = False
 
     def __len__(self) -> int:
         return int(self._parent.shape[0])
 
     @property
     def num_components(self) -> int:
-        """Current number of disjoint sets."""
+        """Current number of disjoint sets.
+
+        Maintained exactly by the scalar operations; a :meth:`union_batch`
+        marks it stale and the next read recomputes it with one O(n) scan
+        (a root is exactly a parent-array fixed point), so the batch query
+        hot path never pays per-round component bookkeeping.
+        """
+        if self._num_components is None:
+            n = len(self)
+            self._num_components = int(
+                np.count_nonzero(self._parent == np.arange(n, dtype=np.int64))
+            )
         return self._num_components
 
     def find(self, x: int) -> int:
@@ -61,7 +78,9 @@ class UnionFind:
         self._parent[root_y] = root_x
         if rank[root_x] == rank[root_y]:
             rank[root_x] += 1
-        self._num_components -= 1
+            self._rank_dirty = True
+        if self._num_components is not None:
+            self._num_components -= 1
         return True
 
     def connected(self, x: int, y: int) -> bool:
@@ -80,7 +99,9 @@ class UnionFind:
         roots = parent[vertices]
         while True:
             jumped = parent[roots]
-            if np.array_equal(jumped, roots):
+            # Direct ufunc comparison: np.array_equal costs several Python
+            # dispatch layers per round, measurable on the serving hot path.
+            if (jumped == roots).all():
                 break
             roots = jumped
         parent[vertices] = roots
@@ -125,12 +146,12 @@ class UnionFind:
             demoted = higher[split]
             # Conflicting hooks of the same root resolve to the last writer;
             # the next round re-examines every still-split edge, so all
-            # requested unions land after at most O(log n) rounds.  Every
-            # distinct demoted id was a root before the writes and is not
-            # afterwards (its new parent is strictly smaller), so the
-            # component count drops by exactly the distinct demotions.
+            # requested unions land after at most O(log n) rounds.  The
+            # component count is merely invalidated here: counting the
+            # distinct demotions would cost a hashing pass per round, and
+            # the serving hot path never reads the count between queries.
             parent[demoted] = lower[split]
-            self._num_components -= int(np.unique(demoted).size)
+            self._num_components = None
 
     def reset_batch(self, *vertex_arrays: np.ndarray) -> None:
         """Restore the given entries to singleton state in O(batch) time.
@@ -149,13 +170,22 @@ class UnionFind:
         :meth:`find_batch` compresses at the queried vertices -- so the union
         of all batch arguments since the last reset is always a sufficient
         superset.  Resetting an untouched vertex is a harmless no-op.
+
+        The rank restore is skipped entirely when no scalar :meth:`union`
+        ever promoted a rank (batch unions hook by id and never write rank),
+        which halves the scatter writes on the recycled serving path.
         """
         parent = self._parent
         rank = self._rank
+        restore_rank = self._rank_dirty
         for vertices in vertex_arrays:
             vertices = np.asarray(vertices, dtype=np.int64)
             parent[vertices] = vertices
-            rank[vertices] = 0
+            if restore_rank:
+                rank[vertices] = 0
+        # The superset contract covers scalar-union writes too, so after a
+        # restoring reset every promoted rank is back at zero.
+        self._rank_dirty = False
         self._num_components = len(self)
 
     def find_batch(self, scheduler: Scheduler, vertices: np.ndarray) -> np.ndarray:

@@ -11,20 +11,36 @@ long-lived serving loop.  Its three pieces compose one pipeline per request:
 3. on a miss, :class:`~repro.serve.session.ClusterSession` computes the
    clustering on recycled O(n)-once buffers and caches the compact result.
 
+On top of the session sits the concurrent tier: a
+:class:`~repro.serve.server.ClusterServer` front end routes newline-
+delimited socket requests (:mod:`repro.serve.wire`) across N forked worker
+processes (:mod:`repro.serve.worker`), each holding its own session over
+the same mmapped artifact, with cache-affinity routing and supervised
+restarts; :mod:`repro.serve.client` replays request streams against it.
+
 Entry points: :meth:`ScanIndex.session() <repro.core.index.ScanIndex.
-session>` in code, ``python -m repro serve ARTIFACT`` on the command line,
-and ``benchmarks/bench_serving.py`` for the steady-state numbers
-(``BENCH_serving.json``).
+session>` in code, ``python -m repro serve ARTIFACT`` (add ``--port`` /
+``--workers`` for the concurrent tier) on the command line, and
+``benchmarks/bench_serving.py`` / ``benchmarks/bench_serve_concurrent.py``
+for the steady-state and tail-latency numbers (``BENCH_serving.json``,
+``BENCH_serve_concurrent.json``).
 """
 
 from .cache import ResultCache
+from .client import ServeClient, replay
+from .server import ClusterServer, DegradedServingWarning, route
 from .session import ClusterSession, CompactLabels, ServedResult
 from .snapping import EpsilonSnapper
 
 __all__ = [
+    "ClusterServer",
     "ClusterSession",
     "CompactLabels",
+    "DegradedServingWarning",
     "EpsilonSnapper",
     "ResultCache",
+    "ServeClient",
     "ServedResult",
+    "replay",
+    "route",
 ]

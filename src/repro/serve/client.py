@@ -1,0 +1,56 @@
+"""Minimal blocking client for the concurrent serving tier.
+
+One TCP connection, one request line out, one response line back -- the
+client never pipelines, so response ``i`` always answers request ``i``.
+Used by the replay benchmark (``benchmarks/bench_serve_concurrent.py``),
+the CI ``serve-concurrent`` job, and the server tests; thread-safe only in
+the one-client-per-thread sense (open one :class:`ServeClient` per thread).
+"""
+
+from __future__ import annotations
+
+import socket
+
+
+class ServeClient:
+    """Line-oriented blocking client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def request(self, line: str) -> str:
+        """Send one request line and return its response line (stripped)."""
+        self._sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+        response = self._reader.readline()
+        if not response:
+            raise ConnectionError("server closed the connection")
+        return response.rstrip("\n")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay(host: str, port: int, lines, *, timeout: float = 60.0) -> list[str]:
+    """Replay ``lines`` over one connection; returns the response lines.
+
+    Blank lines and ``#`` comments are skipped, matching the request-file
+    handling of the single-session ``repro serve`` loop.
+    """
+    responses: list[str] = []
+    with ServeClient(host, port, timeout=timeout) as client:
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            responses.append(client.request(stripped))
+    return responses

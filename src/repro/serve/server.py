@@ -1,0 +1,385 @@
+"""Concurrent serving front end: asyncio socket server over forked workers.
+
+``ClusterServer`` listens on a TCP socket for newline-delimited
+``MU:EPSILON`` requests (the exact wire format of the single-session
+``repro serve`` loop; see :mod:`repro.serve.wire`) and dispatches each to
+one of N forked worker processes.  Every worker holds a
+:class:`~repro.serve.session.ClusterSession` over its own mmap of the same
+saved artifact, so the answers are bit-identical to single-session serving
+at any worker count.
+
+Three contracts define the tier:
+
+Cache affinity
+    A request is routed by hashing its snapped ``(μ, ε-rank)`` pair -- the
+    session cache key modulo generation -- to a fixed worker, so repeats of
+    a setting always land where that setting's LRU entry lives.  Routing is
+    deterministic and independent of arrival order or connection.
+
+Supervision (the :mod:`repro.parallel.supervise` contract)
+    Each dispatch is bounded by ``policy.task_timeout``; a worker that dies
+    or wedges is killed and respawned, and the request is retried up to
+    ``policy.retries`` times with exponential backoff.  A pool beyond
+    saving -- respawn itself failing -- degrades the server to in-process
+    serving over its own session with one structured
+    :class:`DegradedServingWarning`; the socket protocol is unchanged.
+
+Generation flips
+    The server owns a monotonic artifact generation, bumped by the
+    ``!invalidate`` control line (sent after ``repro update`` swaps the
+    artifact on disk).  Every request carries the current generation and a
+    worker reloads the artifact before answering a newer one, so every
+    response acked after the ``!invalidate`` ack reflects the updated
+    artifact -- no stale-generation answers, on any worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import warnings
+from pathlib import Path
+
+from ..parallel.supervise import DegradedExecutionWarning, SupervisionPolicy
+from . import wire
+from .worker import worker_main
+
+
+class DegradedServingWarning(DegradedExecutionWarning):
+    """The worker pool could not be kept alive; serving fell back in-process."""
+
+
+#: Supervision defaults for serving: interactive latencies, so a wedged
+#: worker is declared dead far sooner than a batch task would be.
+SERVING_POLICY = SupervisionPolicy(task_timeout=30.0, retries=2)
+
+
+def route(mu: int, rank: int, num_workers: int) -> int:
+    """Deterministic worker index for a snapped ``(μ, ε-rank)`` setting.
+
+    A Fibonacci-style integer mix keeps neighbouring settings from mapping
+    to the same worker; the result depends only on the setting and the
+    worker count, never on arrival order, which is what pins a setting's
+    cache entry to one worker.
+    """
+    return int((mu * 2654435761 + rank * 40503) % num_workers)
+
+
+class _WorkerHandle:
+    """One forked worker process plus its pipe, counters and pending reply."""
+
+    def __init__(self, server: "ClusterServer", worker_id: int) -> None:
+        self.server = server
+        self.worker_id = worker_id
+        self.process = None
+        self.connection = None
+        self.requests = 0
+        self.restarts = 0
+        self.lock = asyncio.Lock()
+        self._pending: asyncio.Future | None = None
+
+    def spawn(self) -> None:
+        """Fork the worker process and register its reply pipe."""
+        context = self.server._mp_context
+        parent_end, child_end = context.Pipe(duplex=True)
+        process = context.Process(
+            target=worker_main,
+            args=(str(self.server.artifact_path), self.worker_id, child_end),
+            kwargs={
+                "cache_size": self.server.cache_size,
+                "deterministic": self.server.deterministic,
+                "generation": self.server.generation,
+            },
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        self.process = process
+        self.connection = parent_end
+        asyncio.get_running_loop().add_reader(parent_end.fileno(), self._on_readable)
+
+    def _on_readable(self) -> None:
+        try:
+            message = self.connection.recv()
+        except (EOFError, OSError):
+            message = None
+        pending = self._pending
+        if pending is not None and not pending.done():
+            pending.set_result(message)
+
+    async def request(self, message: tuple, timeout: float):
+        """Send one message and await its reply (``None`` = worker died)."""
+        loop = asyncio.get_running_loop()
+        self._pending = loop.create_future()
+        try:
+            self.connection.send(message)
+            return await asyncio.wait_for(self._pending, timeout)
+        finally:
+            self._pending = None
+
+    def kill(self) -> None:
+        """Tear the worker down unconditionally (restart or shutdown path)."""
+        if self.connection is not None:
+            try:
+                asyncio.get_running_loop().remove_reader(self.connection.fileno())
+            except (RuntimeError, OSError):
+                pass
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            self.connection = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.join(timeout=5.0)
+            self.process = None
+
+    async def stop(self) -> None:
+        """Polite shutdown: ask the loop to exit, then reap the process."""
+        if self.connection is not None:
+            try:
+                self.connection.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        self.kill()
+
+
+class ClusterServer:
+    """Multi-worker serving front end over one saved index artifact."""
+
+    def __init__(
+        self,
+        artifact_path: str | Path,
+        *,
+        workers: int = 2,
+        cache_size: int = 256,
+        deterministic: bool = False,
+        policy: SupervisionPolicy | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.artifact_path = Path(artifact_path)
+        self.num_workers = int(workers)
+        self.cache_size = int(cache_size)
+        self.deterministic = bool(deterministic)
+        self.policy = policy if policy is not None else SERVING_POLICY
+        self.generation = 0
+        self.degraded = False
+        self.served = 0
+        self._mp_context = multiprocessing.get_context("fork")
+        self._workers: list[_WorkerHandle] = []
+        self._request_counter = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._fallback_session = None
+        # The front end's own mmap of the artifact: snapping ranks for the
+        # affinity hash, and the in-process fallback when the pool is gone.
+        from ..core.index import ScanIndex
+        from .snapping import EpsilonSnapper
+
+        self._index = ScanIndex.load(self.artifact_path)
+        self._snapper = EpsilonSnapper.from_index(self._index)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Spawn the workers and start accepting connections.
+
+        Returns the bound ``(host, port)`` (``port=0`` binds an ephemeral
+        port, useful for tests and CI).
+        """
+        for worker_id in range(self.num_workers):
+            handle = _WorkerHandle(self, worker_id)
+            try:
+                handle.spawn()
+            except OSError as error:
+                self._degrade(f"worker {worker_id} failed to spawn: {error!r}")
+                break
+            self._workers.append(handle)
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def close(self) -> None:
+        """Stop accepting, then stop every worker."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Retire open connection handlers while the loop is still running --
+        # tasks alive at loop shutdown surface as CancelledError noise.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        for handle in self._workers:
+            await handle.stop()
+        self._workers = []
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    # -- request path ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line or line.startswith("#"):
+                    continue
+                if line.startswith(wire.CONTROL_PREFIX):
+                    response = await self._handle_control(line)
+                else:
+                    response = await self._handle_request(line)
+                writer.write((response + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Cancelled by close(): the connection is being retired, which
+            # is an orderly outcome, not an error to propagate.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            # close() without wait_closed(): awaiting the handshake here
+            # leaves the handler task parked in the finally when the event
+            # loop shuts down, which surfaces as spurious CancelledError
+            # noise; the transport finishes closing on its own.
+            writer.close()
+
+    async def _handle_control(self, line: str) -> str:
+        command = line[len(wire.CONTROL_PREFIX):].strip().lower()
+        if command == "invalidate":
+            await self._invalidate()
+            return f"invalidated generation={self.generation}"
+        if command == "stats":
+            return json.dumps(self.stats(), sort_keys=True)
+        return wire.format_error(f"unknown control command {line!r}")
+
+    async def _handle_request(self, line: str) -> str:
+        try:
+            mu, epsilon = wire.parse_request(line)
+            if mu < 2:
+                raise ValueError(f"mu must be at least 2, got {mu}")
+            if not 0.0 <= epsilon <= 1.0:
+                raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+        except ValueError as error:
+            return wire.format_error(error)
+        self.served += 1
+        if self.degraded:
+            return self._serve_in_process(mu, epsilon)
+        rank = self._snapper.rank(epsilon)
+        handle = self._workers[route(mu, rank, len(self._workers))]
+        return await self._dispatch(handle, mu, epsilon)
+
+    async def _dispatch(self, handle: _WorkerHandle, mu: int, epsilon: float) -> str:
+        policy = self.policy
+        attempts = 1 + max(policy.retries, 0)
+        async with handle.lock:
+            for attempt in range(1, attempts + 1):
+                self._request_counter += 1
+                message = (
+                    "serve", self._request_counter, self.generation, mu, epsilon,
+                )
+                try:
+                    reply = await handle.request(message, policy.task_timeout)
+                except (asyncio.TimeoutError, OSError, ValueError):
+                    reply = None
+                if reply is not None and reply[0] in ("ok", "error"):
+                    handle.requests += 1
+                    if reply[0] == "error":
+                        return wire.format_error(reply[2])
+                    return reply[2]
+                # Dead, wedged, or unreadable: tear down and respawn, then
+                # retry the request on the fresh worker (the session state
+                # is cache only, so a retry is always safe).
+                handle.kill()
+                try:
+                    handle.spawn()
+                    handle.restarts += 1
+                except OSError as error:
+                    self._degrade(
+                        f"worker {handle.worker_id} could not be respawned: {error!r}"
+                    )
+                    return self._serve_in_process(mu, epsilon)
+                if attempt < attempts:
+                    await asyncio.sleep(policy.backoff(attempt))
+        # The pool cannot produce an answer within policy; keep the tier
+        # alive by answering in-process (a per-request degrade, not a flip).
+        return self._serve_in_process(mu, epsilon)
+
+    # -- degradation and generations ---------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        warnings.warn(
+            DegradedServingWarning(
+                f"serving degraded to in-process: {reason}; "
+                f"answers remain bit-identical, concurrency is gone"
+            ),
+            stacklevel=2,
+        )
+
+    def _serve_in_process(self, mu: int, epsilon: float) -> str:
+        if self._fallback_session is None:
+            self._fallback_session = self._index.session(cache_size=self.cache_size)
+        try:
+            result = self._fallback_session.serve(
+                mu, epsilon, deterministic_borders=self.deterministic
+            )
+        except ValueError as error:
+            return wire.format_error(error)
+        return wire.format_response(result)
+
+    async def _invalidate(self) -> None:
+        """Bump the generation after an on-disk artifact swap.
+
+        The server reloads its own mmap (routing ranks + fallback session)
+        immediately; workers reload lazily, on their first request at the
+        new generation -- which is every request dispatched after this
+        method returns, because the bump happens before the ack is written.
+        """
+        from ..core.index import ScanIndex
+        from .snapping import EpsilonSnapper
+
+        self.generation += 1
+        self._index = ScanIndex.load(self.artifact_path)
+        self._snapper = EpsilonSnapper.from_index(self._index)
+        self._fallback_session = None
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Routing, health and generation counters (the ``!stats`` answer)."""
+        return {
+            "workers": self.num_workers,
+            "generation": self.generation,
+            "degraded": self.degraded,
+            "served": self.served,
+            "per_worker": [
+                {
+                    "worker": handle.worker_id,
+                    "requests": handle.requests,
+                    "restarts": handle.restarts,
+                    "alive": bool(handle.process is not None and handle.process.is_alive()),
+                }
+                for handle in self._workers
+            ],
+        }

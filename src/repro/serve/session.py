@@ -157,12 +157,22 @@ class CompactLabels:
 
     @classmethod
     def freeze(
-        cls, vertices: np.ndarray, labels: np.ndarray, num_cores: int
+        cls,
+        vertices: np.ndarray,
+        labels: np.ndarray,
+        num_cores: int,
+        num_clusters: int | None = None,
     ) -> "CompactLabels":
         vertices.setflags(write=False)
         labels.setflags(write=False)
-        # Counted once at freeze time so cache hits never re-sort labels.
-        num_clusters = int(np.unique(labels).shape[0]) if labels.shape[0] else 0
+        if num_clusters is None:
+            # Counted once at freeze time so cache hits never re-sort labels.
+            # Callers that hold the core labels pass the count instead: a
+            # cluster's representative is a core labelled with its own id
+            # (batch unions hook to the minimum core id of the component),
+            # so counting label==id cores is O(cores) with no sort -- the
+            # np.unique here is only the fallback for foreign payloads.
+            num_clusters = int(np.unique(labels).shape[0]) if labels.shape[0] else 0
         return cls(
             vertices=vertices,
             labels=labels,
@@ -487,10 +497,12 @@ class ClusterSession:
         )
         clustered = clustering.labels != UNCLUSTERED
         borders = np.flatnonzero(clustered & ~clustering.core_mask)
+        core_labels = clustering.labels[cores]
         return CompactLabels.freeze(
             np.concatenate([cores, borders]),
-            np.concatenate([clustering.labels[cores], clustering.labels[borders]]),
+            np.concatenate([core_labels, clustering.labels[borders]]),
             int(cores.size),
+            num_clusters=int(np.count_nonzero(core_labels == cores)),
         )
 
     def _materialise(
@@ -562,9 +574,12 @@ class ClusterSession:
         neighbor_order = self.index.neighbor_order
         cores = get_cores(self.index.core_order, mu, epsilon, scheduler=scheduler)
         if cores.size == 0:
-            return CompactLabels.freeze(_EMPTY_IDS, _EMPTY_IDS, 0)
+            return CompactLabels.freeze(_EMPTY_IDS, _EMPTY_IDS, 0, num_clusters=0)
+        # The gather lands in the session's recycled arc buffers: the views
+        # below stay valid for the rest of this request only, and a cold
+        # miss allocates O(cores) search scratch instead of O(result) arrays.
         arc_sources, arc_targets, arc_similarities = _epsilon_similar_arcs(
-            neighbor_order, cores, epsilon, scheduler
+            neighbor_order, cores, epsilon, scheduler, buffers=self.buffers
         )
 
         # Core-core connectivity on the recycled forest (identity between
@@ -576,7 +591,17 @@ class ClusterSession:
             # The write sits inside the try: clearing entries that were
             # never set is a no-op, so the restore is safe from any point.
             member[cores] = True
-            core_to_core = member[arc_targets]
+            if self.buffers.arc_flags is not None and arc_targets.size:
+                # mode="clip" keeps the gather scratch-free; targets are
+                # vertex ids, in-bounds by construction.
+                core_to_core = np.take(
+                    member,
+                    arc_targets,
+                    out=self.buffers.arc_flags[: arc_targets.size],
+                    mode="clip",
+                )
+            else:
+                core_to_core = member[arc_targets]
         finally:
             member[cores] = False
         cc_sources = arc_sources[core_to_core]
@@ -617,6 +642,9 @@ class ClusterSession:
             np.concatenate([cores, border_vertices]),
             np.concatenate([core_labels, border_labels]),
             int(cores.size),
+            # Representatives label themselves (min-id hooking), so the
+            # cluster count is an O(cores) compare, not a sort.
+            num_clusters=int(np.count_nonzero(core_labels == cores)),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

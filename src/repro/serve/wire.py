@@ -1,0 +1,69 @@
+"""Wire protocol shared by every serving front end.
+
+One request per line, ``MU:EPSILON`` (or whitespace-separated), answered by
+one response line -- the exact format of the single-session ``repro serve``
+stdin loop, so a network client cannot tell which tier answered beyond the
+``cache=`` disposition field (which is per-worker state, not part of the
+clustering answer; :func:`strip_cache_field` removes it before bit-identity
+comparisons).
+
+Control lines start with ``!`` and never reach the clustering path:
+
+``!stats``
+    One JSON object describing the serving tier (worker routing counts,
+    restarts, generation, degradation state).
+``!invalidate``
+    Bump the server's artifact generation: every worker reloads the
+    artifact before answering its next request.  Acked with
+    ``invalidated generation=G``.
+
+Errors are reported inline as ``error: <reason>`` lines (the stdin loop
+prints them to stderr instead; a socket has only one channel back).
+"""
+
+from __future__ import annotations
+
+from .session import ServedResult
+
+#: Prefix of control lines.
+CONTROL_PREFIX = "!"
+#: Prefix of inline error responses.
+ERROR_PREFIX = "error: "
+#: The trailing per-worker disposition field, excluded from bit-identity.
+CACHE_FIELD_SEPARATOR = " cache="
+
+
+def parse_request(line: str) -> tuple[int, float]:
+    """Parse one serve request line (``MU:EPSILON`` or ``MU EPSILON``)."""
+    token = line.replace(":", " ").split()
+    if len(token) != 2:
+        raise ValueError(f"expected MU:EPSILON, got {line.strip()!r}")
+    return int(token[0]), float(token[1])
+
+
+def format_response(result: ServedResult) -> str:
+    """The response line for one served result (no trailing newline).
+
+    Identical to the single-session ``repro serve`` output; every field
+    before ``cache=`` is a pure function of the artifact and the request.
+    """
+    snapped = result.snapped_epsilon
+    return (
+        f"mu={result.mu} epsilon={result.epsilon:g} "
+        f"snapped={'none' if snapped == float('inf') else format(snapped, '.6g')} "
+        f"clusters={result.num_clusters} "
+        f"clustered={result.num_clustered_vertices} "
+        f"cores={result.num_cores} "
+        f"cache={'hit' if result.from_cache else 'miss'}"
+    )
+
+
+def format_error(error: Exception | str) -> str:
+    """The inline error line for a rejected request."""
+    return f"{ERROR_PREFIX}{error}"
+
+
+def strip_cache_field(line: str) -> str:
+    """Drop the ``cache=`` disposition, keeping the comparable answer."""
+    head, separator, _ = line.partition(CACHE_FIELD_SEPARATOR)
+    return head if separator else line

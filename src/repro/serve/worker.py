@@ -1,0 +1,99 @@
+"""Worker process of the concurrent serving tier.
+
+Each worker holds one :class:`~repro.serve.session.ClusterSession` over its
+own mmap of the *same* saved artifact -- the zero-recompute load means the
+page cache backs every worker with one physical copy, so per-worker memory
+is near-free.  Workers receive requests over a pipe from the front end
+(:mod:`repro.serve.server`), answer them through their session (whose
+ε-snapped LRU stays hot because the front end routes each ``(μ, ε-rank)``
+pair to a fixed worker), and format the response line themselves so the
+front end only forwards bytes.
+
+Generation contract: every request carries the server's artifact
+generation.  A worker that sees a newer generation than the one it loaded
+drops its index and session and reloads from disk before answering -- the
+crash-safe artifact swap of ``repro update`` guarantees the reload sees
+either the complete old or the complete new artifact, and the front end
+only bumps the generation after the swap is durable, so every answer at
+generation ``g`` reflects the artifact as of ``g``.
+
+The request entry is a registered fault site (``serve.worker.request``), so
+the deterministic fault harness can kill or wedge a specific worker
+mid-traffic to drive the restart/degradation paths.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..testing.faults import fault_point
+from . import wire
+
+#: Worker exit code for an unreadable artifact (distinct from fault kills).
+EXIT_BAD_ARTIFACT = 3
+
+
+def worker_main(
+    artifact_path: str | Path,
+    worker_id: int,
+    connection,
+    *,
+    cache_size: int = 256,
+    deterministic: bool = False,
+    generation: int = 0,
+) -> None:
+    """Request loop of one serving worker; runs until ``stop`` or EOF.
+
+    Messages from the front end are tuples; the first element selects:
+
+    ``("serve", request_id, generation, mu, epsilon)``
+        Answer one query.  Replies ``("ok", request_id, line)`` with the
+        formatted response, or ``("error", request_id, message)`` for a
+        request rejected by validation.
+    ``("stats", request_id)``
+        Replies ``("ok", request_id, session_stats_dict)``.
+    ``("stop",)``
+        Clean shutdown.
+    """
+    from ..core.index import ScanIndex
+
+    try:
+        index = ScanIndex.load(artifact_path)
+    except Exception as error:  # pragma: no cover - exercised via restarts
+        try:
+            connection.send(("dead", None, f"worker {worker_id} cannot load: {error}"))
+        finally:
+            raise SystemExit(EXIT_BAD_ARTIFACT)
+    session = index.session(cache_size=cache_size)
+
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "stats":
+            _, request_id = message
+            stats = dict(session.stats())
+            stats["generation"] = generation
+            connection.send(("ok", request_id, stats))
+            continue
+        _, request_id, request_generation, mu, epsilon = message
+        # Fault site: chaos tests arm kills/crashes here to exercise the
+        # front end's restart and degradation contract.
+        fault_point("serve.worker.request", task=worker_id)
+        if request_generation != generation:
+            # The artifact was updated (or explicitly invalidated) after we
+            # loaded: remap it.  Reload, do not repair -- the artifact on
+            # disk is always a complete committed build.
+            index = ScanIndex.load(artifact_path)
+            session = index.session(cache_size=cache_size)
+            generation = request_generation
+        try:
+            result = session.serve(mu, epsilon, deterministic_borders=deterministic)
+        except ValueError as error:
+            connection.send(("error", request_id, str(error)))
+            continue
+        connection.send(("ok", request_id, wire.format_response(result)))

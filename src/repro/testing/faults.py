@@ -83,6 +83,9 @@ FAULT_SITES = {
     # parallel/: the supervised executor (see parallel/supervise.py)
     "parallel.worker.task": "worker task entry (arm action='kill' with task=j)",
     "parallel.dispatch": "master-side task submission (transients)",
+    # serve/: the concurrent serving tier (see serve/worker.py)
+    "serve.worker.request": "serving-worker request entry "
+                            "(arm action='kill' with task=worker_id)",
 }
 
 

@@ -82,6 +82,28 @@ class TestRoundTrip:
         assert isinstance(loaded.neighbor_order.neighbors, np.memmap)
         assert isinstance(loaded.core_order.thresholds, np.memmap)
 
+    def test_memmapped_columns_are_aligned(self, tmp_path, paper_graph):
+        """Every mmapped column sits on the writer's alignment boundary.
+
+        The zip layout would otherwise put npy payloads at arbitrary file
+        offsets, and unaligned memmaps make ``np.take(out=...)`` silently
+        copy the whole column per gather -- the serving tier's recycled
+        buffers depend on this alignment to stay allocation-free.
+        """
+        from repro.storage.format import COLUMN_ALIGNMENT
+
+        ScanIndex.build(paper_graph).save(tmp_path / "al")
+        loaded = ScanIndex.load(tmp_path / "al")
+        for column in (
+            loaded.neighbor_order.neighbors,
+            loaded.neighbor_order.similarities,
+            loaded.neighbor_order.indptr,
+            loaded.core_order.thresholds,
+        ):
+            address = column.__array_interface__["data"][0]
+            assert address % COLUMN_ALIGNMENT == 0
+            assert column.flags.aligned
+
     def test_load_without_mmap(self, tmp_path, paper_graph):
         index = ScanIndex.build(paper_graph)
         index.save(tmp_path / "nm")
