@@ -1,0 +1,46 @@
+"""Standalone entry point shared by the paper-figure benchmark wrappers.
+
+The figure/table benchmarks are pytest modules (their assertions pin the
+paper's shapes), but the trajectory store wants their rows too.  Running
+one directly --
+
+    PYTHONPATH=src python benchmarks/bench_fig6_query_vs_epsilon.py --record
+
+-- executes the experiment driver once, prints the paper-style report,
+and (with ``--record``) appends the rows to the sqlite trajectory store
+through the same shared recording path the standalone runners use.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.recording import add_record_argument, record_payload
+from repro.cli import experiment_payload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def experiment_main(experiment: str, argv=None) -> int:
+    """Run one registered experiment driver as a recordable script."""
+    driver = ALL_EXPERIMENTS[experiment]
+    parser = argparse.ArgumentParser(
+        description=(driver.__doc__ or experiment).strip().splitlines()[0]
+    )
+    if experiment != "table1":
+        parser.add_argument("--scale", default="bench",
+                            help="dataset scale (default: bench)")
+    add_record_argument(parser, REPO_ROOT)
+    args = parser.parse_args(argv)
+    kwargs = {} if experiment == "table1" else {"scale": args.scale}
+    result = driver(**kwargs)
+    print(result.report())
+    if args.record is not None:
+        record_payload(
+            args.record,
+            experiment_payload(result, experiment),
+            source=f"benchmarks/{experiment}",
+        )
+    return 0

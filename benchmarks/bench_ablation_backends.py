@@ -7,6 +7,11 @@ discusses in Sections 4.1.2 and 6.1:
   degree-oriented graph vs the hash-join of Algorithm 1 vs dense matrix
   multiplication;
 * integer sort vs comparison sort for building the neighbor/core orders.
+
+Run standalone (``--record`` appends the work counts to the trajectory
+store)::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_backends.py --record
 """
 
 from repro import ScanIndex
@@ -20,18 +25,28 @@ def _build_work(graph, **kwargs) -> float:
     return scheduler.counter.work
 
 
-def test_ablation_similarity_backends(benchmark, once):
+def similarity_backend_work() -> dict:
+    """Construction work charged by every exact similarity backend."""
     graph = load_dataset("cochlea-like", "bench")
+    return {
+        "batch": _build_work(graph, backend="batch"),
+        "merge": _build_work(graph, backend="merge"),
+        "hash": _build_work(graph, backend="hash"),
+        "matmul": _build_work(graph, backend="matmul"),
+    }
 
-    def run():
-        return {
-            "batch": _build_work(graph, backend="batch"),
-            "merge": _build_work(graph, backend="merge"),
-            "hash": _build_work(graph, backend="hash"),
-            "matmul": _build_work(graph, backend="matmul"),
-        }
 
-    work = once(benchmark, run)
+def sorting_strategy_work() -> dict:
+    """Construction work of integer vs comparison order sorts."""
+    graph = load_dataset("orkut-like", "bench")
+    return {
+        "integer_sort": _build_work(graph, use_integer_sort=True),
+        "comparison_sort": _build_work(graph, use_integer_sort=False),
+    }
+
+
+def test_ablation_similarity_backends(benchmark, once):
+    work = once(benchmark, similarity_backend_work)
     print()
     print(format_table(["backend", "construction work"], sorted(work.items())))
     # The degree-oriented merge shares triangle work across edges, so it never
@@ -43,16 +58,36 @@ def test_ablation_similarity_backends(benchmark, once):
 
 
 def test_ablation_sorting_strategy(benchmark, once):
-    graph = load_dataset("orkut-like", "bench")
-
-    def run():
-        return {
-            "integer sort": _build_work(graph, use_integer_sort=True),
-            "comparison sort": _build_work(graph, use_integer_sort=False),
-        }
-
-    work = once(benchmark, run)
+    work = once(benchmark, sorting_strategy_work)
     print()
     print(format_table(["sorting", "construction work"], sorted(work.items())))
     # Integer sorting the quantised similarity scores shaves the log n factor.
-    assert work["integer sort"] < work["comparison sort"]
+    assert work["integer_sort"] < work["comparison_sort"]
+
+
+if __name__ == "__main__":
+    import argparse
+    from pathlib import Path
+
+    from repro.bench.recording import add_record_argument, record_payload
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_record_argument(parser, Path(__file__).resolve().parent.parent)
+    args = parser.parse_args()
+    results = {
+        "benchmark": "ablation_backends",
+        "similarity_backend_work": similarity_backend_work(),
+        "sorting_strategy_work": sorting_strategy_work(),
+    }
+    print(format_table(
+        ["backend", "construction work"],
+        sorted(results["similarity_backend_work"].items()),
+    ))
+    print(format_table(
+        ["sorting", "construction work"],
+        sorted(results["sorting_strategy_work"].items()),
+    ))
+    if args.record is not None:
+        record_payload(args.record, results,
+                       source="bench_ablation_backends.py")
+    raise SystemExit(0)

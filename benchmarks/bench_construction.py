@@ -40,7 +40,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import ScanIndex, verify_artifact
-from repro.bench import format_table
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
 from repro.graphs import from_edge_list, planted_partition
 from repro.parallel import execute
 from repro.parallel.execute import PARALLEL_FLOOR_ARCS, ParallelExecutor
@@ -317,11 +318,11 @@ def run(ladder, jobs_grid, output: Path | None) -> dict:
     graphs = [bench_graph(name, loader, jobs_grid) for name, loader in ladder]
     results = {
         "benchmark": "construction",
+        # The shared fingerprint block (affinity-mask cpu_count: a
+        # cgroup-pinned container must not pretend its host's cores are
+        # available) plus this runner's pool-cost extras.
         "environment": {
-            # The affinity-mask count (what jobs=0 resolves to), not the
-            # host's core count -- a cgroup-pinned container must not
-            # pretend its host's cores are available.
-            "cpu_count": execute.visible_cpu_count(),
+            **capture_environment(),
             "pool_startup_seconds": measure_pool_startup(),
             "parallel_floor_arcs": PARALLEL_FLOOR_ARCS,
             "shared_memory_available": execute.shared_memory_available(),
@@ -414,12 +415,16 @@ def main(argv=None) -> int:
                         help="CI-sized rung, jobs=2 only, no size floor")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
     args = parser.parse_args(argv)
     if args.smoke:
         execute.PARALLEL_FLOOR_ARCS = 0
         results = run(_smoke_ladder(), SMOKE_JOBS, args.output)
     else:
         results = run(_fig5_style_ladder(), DEFAULT_JOBS, args.output)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_construction.py",
+                       smoke=args.smoke)
 
     failed = False
     for record in results["graphs"]:

@@ -25,7 +25,8 @@ import time
 from pathlib import Path
 
 from repro import ScanIndex
-from repro.bench import format_table
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
 from repro.graphs import planted_partition
 from repro.parallel import Scheduler
 from repro.similarity import compute_similarities
@@ -121,7 +122,11 @@ def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict
 
 def run(ladder, output: Path | None) -> dict:
     """Benchmark every rung of ``ladder`` and optionally write the JSON."""
-    results = {"benchmark": "hot_paths", "graphs": [bench_graph(*rung) for rung in ladder]}
+    results = {
+        "benchmark": "hot_paths",
+        "environment": capture_environment(),
+        "graphs": [bench_graph(*rung) for rung in ladder],
+    }
     rows = []
     for record in results["graphs"]:
         for backend, seconds in sorted(record["construction_seconds"].items()):
@@ -160,8 +165,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true", help="CI-sized smoke ladder")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
     args = parser.parse_args(argv)
     results = run(TINY_LADDER if args.tiny else DEFAULT_LADDER, args.output)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_hot_paths.py",
+                       smoke=args.tiny)
     largest = results["graphs"][-1]
     if largest["num_arcs"] >= 100_000 and largest["batch_speedup_over_merge"] < 10.0:
         print("WARNING: batch speedup below the expected 10x on the largest graph")

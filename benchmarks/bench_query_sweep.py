@@ -29,7 +29,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import ScanIndex
-from repro.bench import format_table
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
 from repro.graphs import planted_partition
 from repro.quality.sweep import epsilon_grid, mu_grid
 
@@ -108,7 +109,11 @@ def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict
 
 def run(ladder, output: Path | None) -> dict:
     """Benchmark every rung of ``ladder`` and optionally write the JSON."""
-    results = {"benchmark": "query_sweep", "graphs": [bench_graph(*rung) for rung in ladder]}
+    results = {
+        "benchmark": "query_sweep",
+        "environment": capture_environment(),
+        "graphs": [bench_graph(*rung) for rung in ladder],
+    }
     rows = [
         [
             record["num_arcs"],
@@ -144,8 +149,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true", help="CI-sized smoke ladder")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
     args = parser.parse_args(argv)
     results = run(TINY_LADDER if args.tiny else DEFAULT_LADDER, args.output)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_query_sweep.py",
+                       smoke=args.tiny)
     for record in results["graphs"]:
         if record["mismatching_clusterings"]:
             print("ERROR: batched sweep disagrees with per-pair queries")

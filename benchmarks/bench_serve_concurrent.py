@@ -42,7 +42,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import ScanIndex
-from repro.bench import format_table
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
 from repro.graphs import planted_partition
 from repro.serve import ServeClient
 from repro.serve import wire
@@ -225,10 +226,10 @@ def run(
         ]
     results = {
         "benchmark": "serve_concurrent",
-        "environment": {
-            "cpu_count": os.cpu_count(),
-            "python": sys.version.split()[0],
-        },
+        # Shared fingerprint block (affinity-mask cpu_count: a 1-CPU
+        # container's worker configs measure dispatch overhead, and the
+        # gate must never compare them against real scaling numbers).
+        "environment": capture_environment(),
         "graph": {
             "num_vertices": graph.num_vertices,
             "num_edges": graph.num_edges,
@@ -277,6 +278,7 @@ def main(argv=None) -> int:
                         help="CI-sized run: tiny graph, fewer configs")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
     args = parser.parse_args(argv)
     if args.smoke:
         results = run(SMOKE_GRAPH, SMOKE_WORKER_CONFIGS, SMOKE_CLIENTS,
@@ -284,6 +286,9 @@ def main(argv=None) -> int:
     else:
         results = run(FULL_GRAPH, FULL_WORKER_CONFIGS, FULL_CLIENTS,
                       FULL_REPEATS, args.output)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_serve_concurrent.py",
+                       smoke=args.smoke)
     for record in results["configs"]:
         if record["mismatching_responses"]:
             print("ERROR: concurrent responses diverged from the single session")

@@ -62,7 +62,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import ScanIndex
-from repro.bench import format_table
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
 from repro.graphs import planted_partition
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -203,7 +204,11 @@ def bench_graph(num_clusters, cluster_size, p_intra, p_inter, *, seed=0) -> dict
 
 def run(ladder, output: Path | None) -> dict:
     """Benchmark every rung of ``ladder`` and optionally write the JSON."""
-    results = {"benchmark": "serving", "graphs": [bench_graph(*rung) for rung in ladder]}
+    results = {
+        "benchmark": "serving",
+        "environment": capture_environment(),
+        "graphs": [bench_graph(*rung) for rung in ladder],
+    }
     rows = [
         [
             record["num_arcs"],
@@ -246,8 +251,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true", help="CI-sized smoke ladder")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
     args = parser.parse_args(argv)
     results = run(TINY_LADDER if args.tiny else DEFAULT_LADDER, args.output)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_serving.py",
+                       smoke=args.tiny)
     for record in results["graphs"]:
         if record["mismatching_clusterings"]:
             print("ERROR: served clusterings disagree with the cold query path")

@@ -34,7 +34,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import ScanIndex
-from repro.bench import format_table
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
 from repro.dynamic import UpdateBatch
 from repro.graphs import from_edge_list, planted_partition
 from repro.storage import IndexArtifact
@@ -200,7 +201,11 @@ def run(ladder, output: Path | None, *, fractions=DEFAULT_FRACTIONS) -> dict:
         record = bench_graph(*shape, fractions=fractions)
         record["small_batch_floor"] = floor
         graphs.append(record)
-    results = {"benchmark": "updates", "graphs": graphs}
+    results = {
+        "benchmark": "updates",
+        "environment": capture_environment(),
+        "graphs": graphs,
+    }
     rows = [
         [
             record["num_edges"],
@@ -251,10 +256,14 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true", help="CI-sized smoke ladder")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
     args = parser.parse_args(argv)
     ladder = TINY_LADDER if args.tiny else DEFAULT_LADDER
     fractions = TINY_FRACTIONS if args.tiny else DEFAULT_FRACTIONS
     results = run(ladder, args.output, fractions=fractions)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_updates.py",
+                       smoke=args.tiny)
     for record in results["graphs"]:
         for batch in record["batches"]:
             if not batch["identical"]:

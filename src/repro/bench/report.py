@@ -1,0 +1,374 @@
+"""Cross-PR trajectory reports and regression gating over the results store.
+
+The report follows the fuzzbench ``ExperimentResults`` pattern: a class
+over the store whose expensive views (runs grouped by benchmark and
+environment, per-group tables, pairwise comparisons) are lazy cached
+properties, rendered to markdown only on demand.  Nothing here reads the
+clock -- the same store renders byte-identical reports forever, which is
+what the golden-output tests pin.
+
+Gating semantics (the honest-comparison contract):
+
+* two runs are compared cell-by-cell on the shared ``(graph, cell,
+  metric)`` keys; a cell regresses when it moves against its metric's
+  polarity by more than the noise threshold (15% by default);
+* ``gate`` only ever *fails* on two runs whose environment fingerprints
+  match.  Differing fingerprints -- the committed 1-CPU-container
+  ``BENCH_construction.json`` numbers against an 8-core laptop run --
+  produce a structured refusal, not a verdict, because neither "faster"
+  nor "slower" means anything across machine classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from .environment import EnvironmentFingerprint
+from .reporting import format_value
+from .store import BenchStore, BenchStoreError, RunInfo
+
+__all__ = [
+    "CellDelta",
+    "DEFAULT_NOISE_THRESHOLD",
+    "GateResult",
+    "RunComparison",
+    "TrajectoryReport",
+    "compare_runs",
+    "gate_runs",
+    "latest_pair",
+    "metric_polarity",
+]
+
+#: Relative change below which a moved cell is considered timer noise.
+DEFAULT_NOISE_THRESHOLD = 0.15
+
+#: Substrings marking a metric as higher-is-better; checked before the
+#: lower-is-better rules because ``requests_per_second`` contains
+#: ``second``.
+_HIGHER_BETTER = ("per_second", "speedup", "hit_rate", "rps", "identical")
+#: Substrings marking a metric as lower-is-better.
+_LOWER_BETTER = ("seconds", "_ms", "bytes", "mismatch", "failures")
+
+
+def metric_polarity(metric: str) -> int:
+    """``+1`` if higher is better, ``-1`` if lower is better, ``0`` neutral.
+
+    Neutral metrics (sizes, counts, configuration echoes like
+    ``num_vertices`` or ``cpu_count``) are reported in trajectories but
+    never gated -- a graph growing is not a regression.
+    """
+    lowered = metric.lower()
+    if any(token in lowered for token in _HIGHER_BETTER):
+        return 1
+    if any(token in lowered for token in _LOWER_BETTER):
+        return -1
+    return 0
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One shared cell's movement between two runs."""
+
+    graph: str
+    cell: str
+    metric: str
+    baseline: float
+    candidate: float
+    change: float  # relative: candidate / baseline - 1
+    polarity: int
+
+    @property
+    def label(self) -> str:
+        parts = [part for part in (self.graph, self.cell, self.metric) if part]
+        return "/".join(parts)
+
+    def describe(self) -> str:
+        return (
+            f"{self.label}: {format_value(self.baseline)} -> "
+            f"{format_value(self.candidate)} ({self.change:+.1%})"
+        )
+
+
+@dataclass
+class RunComparison:
+    """Cell-level diff of two runs of the same benchmark."""
+
+    baseline: RunInfo
+    candidate: RunInfo
+    threshold: float
+    shared: int = 0
+    regressions: list[CellDelta] = field(default_factory=list)
+    improvements: list[CellDelta] = field(default_factory=list)
+
+    @property
+    def fingerprints_match(self) -> bool:
+        return self.baseline.fingerprint_key == self.candidate.fingerprint_key
+
+
+def compare_runs(
+    store: BenchStore,
+    baseline_id: int,
+    candidate_id: int,
+    threshold: float = DEFAULT_NOISE_THRESHOLD,
+) -> RunComparison:
+    """Compare every shared gated cell of two runs of one benchmark."""
+    baseline = store.run(baseline_id)
+    candidate = store.run(candidate_id)
+    if baseline.benchmark != candidate.benchmark:
+        raise BenchStoreError(
+            f"runs {baseline_id} ({baseline.benchmark}) and {candidate_id} "
+            f"({candidate.benchmark}) measure different benchmarks"
+        )
+    comparison = RunComparison(baseline, candidate, threshold)
+    before = store.numeric_cells(baseline_id)
+    after = store.numeric_cells(candidate_id)
+    for key in before.keys() & after.keys():
+        comparison.shared += 1
+        polarity = metric_polarity(key[2])
+        if polarity == 0:
+            continue
+        old, new = before[key], after[key]
+        if old == 0:
+            continue  # a relative threshold over zero is meaningless
+        change = new / old - 1
+        if abs(change) <= threshold:
+            continue
+        delta = CellDelta(*key, baseline=old, candidate=new,
+                          change=change, polarity=polarity)
+        # Moving against the polarity is a regression, with it a win.
+        if change * polarity < 0:
+            comparison.regressions.append(delta)
+        else:
+            comparison.improvements.append(delta)
+    ranked = lambda delta: -abs(delta.change)
+    comparison.regressions.sort(key=ranked)
+    comparison.improvements.sort(key=ranked)
+    return comparison
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one gate evaluation: PASS, FAIL, or a refusal (SKIP)."""
+
+    status: str  # "pass" | "fail" | "skip"
+    lines: tuple[str, ...]
+    comparison: RunComparison | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.status == "fail" else 0
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _describe_run(run: RunInfo) -> str:
+    source = f" source={run.source}" if run.source else ""
+    return (
+        f"run {run.id} [{run.benchmark}] recorded {run.recorded_at}"
+        f" git={run.git_hash or '?'}{source}"
+    )
+
+
+def gate_runs(
+    store: BenchStore,
+    baseline_id: int,
+    candidate_id: int,
+    threshold: float = DEFAULT_NOISE_THRESHOLD,
+) -> GateResult:
+    """Gate ``candidate`` against ``baseline``; never fail across machines."""
+    comparison = compare_runs(store, baseline_id, candidate_id, threshold)
+    baseline, candidate = comparison.baseline, comparison.candidate
+    if not comparison.fingerprints_match:
+        lines = (
+            "bench-gate: SKIP -- environment fingerprints differ;"
+            " refusing to compare across machine classes",
+            f"  baseline : {_describe_run(baseline)}",
+            f"             environment {baseline.fingerprint.describe()}",
+            f"  candidate: {_describe_run(candidate)}",
+            f"             environment {candidate.fingerprint.describe()}",
+        )
+        return GateResult("skip", lines, comparison)
+    header = (
+        f"environment {baseline.fingerprint.key()},"
+        f" {comparison.shared} shared cells,"
+        f" noise threshold {threshold:.0%}"
+    )
+    if comparison.regressions:
+        lines = [
+            f"bench-gate: FAIL -- {len(comparison.regressions)} regression(s)"
+            f" ({header})",
+            f"  baseline : {_describe_run(baseline)}",
+            f"  candidate: {_describe_run(candidate)}",
+        ]
+        lines += [f"  REGRESSED {delta.describe()}" for delta in comparison.regressions]
+        return GateResult("fail", tuple(lines), comparison)
+    lines = [
+        f"bench-gate: PASS -- no regressions ({header},"
+        f" {len(comparison.improvements)} improvement(s))",
+        f"  baseline : {_describe_run(baseline)}",
+        f"  candidate: {_describe_run(candidate)}",
+    ]
+    lines += [f"  improved {delta.describe()}" for delta in comparison.improvements]
+    return GateResult("pass", tuple(lines), comparison)
+
+
+def latest_pair(
+    store: BenchStore, benchmark: str
+) -> tuple[RunInfo | None, RunInfo | None]:
+    """The newest run of ``benchmark`` and its most recent same-environment
+    predecessor (``None`` when either does not exist)."""
+    runs = store.runs(benchmark)
+    if not runs:
+        return None, None
+    candidate = runs[-1]
+    for run in reversed(runs[:-1]):
+        if run.fingerprint_key == candidate.fingerprint_key:
+            return run, candidate
+    return None, candidate
+
+
+# ----------------------------------------------------------------------
+# The markdown trajectory report
+# ----------------------------------------------------------------------
+class TrajectoryReport:
+    """Lazy markdown view of the whole store, grouped for honest reading.
+
+    Runs are grouped per benchmark and, inside a benchmark, per
+    environment fingerprint: trajectory tables only ever place
+    same-machine-class runs side by side, and the newest run of each
+    group is diffed against its predecessor with regressions flagged
+    inline.  Everything is a :func:`functools.cached_property` so a CLI
+    call that renders one benchmark never pays for the rest.
+    """
+
+    def __init__(
+        self,
+        store: BenchStore,
+        benchmarks: list[str] | None = None,
+        threshold: float = DEFAULT_NOISE_THRESHOLD,
+    ):
+        self._store = store
+        self._benchmarks = benchmarks
+        self.threshold = threshold
+
+    @cached_property
+    def benchmarks(self) -> list[str]:
+        known = self._store.benchmarks()
+        if self._benchmarks is None:
+            return known
+        missing = sorted(set(self._benchmarks) - set(known))
+        if missing:
+            raise BenchStoreError(
+                f"no recorded runs for benchmark(s): {', '.join(missing)}"
+            )
+        return [name for name in known if name in set(self._benchmarks)]
+
+    @cached_property
+    def runs_by_benchmark(self) -> dict[str, list[RunInfo]]:
+        return {name: self._store.runs(name) for name in self.benchmarks}
+
+    @cached_property
+    def groups(self) -> dict[str, list[tuple[EnvironmentFingerprint, list[RunInfo]]]]:
+        """Per benchmark: fingerprint groups in first-recorded order."""
+        grouped: dict[str, list[tuple[EnvironmentFingerprint, list[RunInfo]]]] = {}
+        for name, runs in self.runs_by_benchmark.items():
+            ordered: dict[str, tuple[EnvironmentFingerprint, list[RunInfo]]] = {}
+            for run in runs:
+                entry = ordered.setdefault(
+                    run.fingerprint_key, (run.fingerprint, [])
+                )
+                entry[1].append(run)
+            grouped[name] = list(ordered.values())
+        return grouped
+
+    # -- rendering -----------------------------------------------------
+    @staticmethod
+    def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        lines += ["| " + " | ".join(row) + " |" for row in rows]
+        return "\n".join(lines)
+
+    def _runs_table(self, runs: list[RunInfo]) -> str:
+        rows = [
+            [
+                str(run.id),
+                run.recorded_at,
+                run.fingerprint_key,
+                run.git_hash or "?",
+                run.source or "?",
+                "yes" if run.smoke else "no",
+            ]
+            for run in runs
+        ]
+        return self._markdown_table(
+            ["run", "recorded (UTC)", "environment", "git", "source", "smoke"],
+            rows,
+        )
+
+    def _group_table(self, runs: list[RunInfo]) -> str:
+        """One fingerprint group's cells as columns-per-run, flags inline."""
+        per_run = [self._store.numeric_cells(run.id) for run in runs]
+        # Row order: first run's document order, then later-run additions.
+        keys: dict[tuple, None] = {}
+        for run, cells in zip(runs, per_run):
+            for record in self._store.cells(run.id):
+                if record.value is not None:
+                    keys.setdefault(record.key, None)
+        flagged: set[tuple] = set()
+        if len(runs) >= 2:
+            comparison = compare_runs(
+                self._store, runs[-2].id, runs[-1].id, self.threshold
+            )
+            flagged = {
+                (delta.graph, delta.cell, delta.metric)
+                for delta in comparison.regressions
+            }
+        rows = []
+        for key in keys:
+            row = [key[0] or "-", key[1] or "-", key[2]]
+            for position, cells in enumerate(per_run):
+                if key not in cells:
+                    row.append("")
+                    continue
+                rendered = format_value(cells[key])
+                if position == len(per_run) - 1 and key in flagged:
+                    rendered = f"**{rendered}** (regressed)"
+                row.append(rendered)
+            rows.append(row)
+        headers = ["graph", "cell", "metric"] + [f"run {run.id}" for run in runs]
+        return self._markdown_table(headers, rows)
+
+    def render(self) -> str:
+        """The full markdown report (deterministic for a given store)."""
+        sections = ["# Performance trajectory"]
+        total_runs = sum(len(runs) for runs in self.runs_by_benchmark.values())
+        environments = {
+            run.fingerprint_key
+            for runs in self.runs_by_benchmark.values()
+            for run in runs
+        }
+        sections.append(
+            f"{total_runs} run(s) across {len(self.benchmarks)} benchmark(s)"
+            f" and {len(environments)} environment class(es);"
+            f" noise threshold {self.threshold:.0%}."
+        )
+        for name in self.benchmarks:
+            runs = self.runs_by_benchmark[name]
+            sections.append(f"\n## {name}\n")
+            sections.append(self._runs_table(runs))
+            for fingerprint, group in self.groups[name]:
+                sections.append(
+                    f"\n### trajectory -- environment {fingerprint.describe()}\n"
+                )
+                sections.append(self._group_table(group))
+                if len(group) >= 2:
+                    result = gate_runs(
+                        self._store, group[-2].id, group[-1].id, self.threshold
+                    )
+                    sections.append("\n```\n" + result.render() + "\n```")
+        return "\n".join(sections) + "\n"

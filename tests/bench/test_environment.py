@@ -1,0 +1,99 @@
+"""Tests for the shared environment capture and fingerprinting."""
+
+import json
+
+import pytest
+
+from repro.bench.environment import (
+    FINGERPRINT_FIELDS,
+    EnvironmentFingerprint,
+    capture_environment,
+    capture_fingerprint,
+    fingerprint_from_mapping,
+    git_revision,
+    visible_cpu_count,
+)
+
+
+class TestFingerprint:
+    def test_key_is_deterministic(self):
+        a = EnvironmentFingerprint(4, "Linux", "x86_64", "3.11.7", "2.4.6")
+        b = EnvironmentFingerprint(4, "Linux", "x86_64", "3.11.7", "2.4.6")
+        assert a.key() == b.key()
+        assert len(a.key()) == 12
+
+    def test_any_field_changes_the_key(self):
+        base = EnvironmentFingerprint(4, "Linux", "x86_64", "3.11.7", "2.4.6")
+        variants = [
+            EnvironmentFingerprint(8, "Linux", "x86_64", "3.11.7", "2.4.6"),
+            EnvironmentFingerprint(4, "Darwin", "x86_64", "3.11.7", "2.4.6"),
+            EnvironmentFingerprint(4, "Linux", "arm64", "3.11.7", "2.4.6"),
+            EnvironmentFingerprint(4, "Linux", "x86_64", "3.12.1", "2.4.6"),
+            EnvironmentFingerprint(4, "Linux", "x86_64", "3.11.7", "1.26.0"),
+        ]
+        keys = {variant.key() for variant in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_missing_field_is_its_own_class(self):
+        """An unknown cpu_count must not silently match a known one."""
+        known = EnvironmentFingerprint(1, "Linux", "x86_64", "3.11.7", "2.4.6")
+        unknown = EnvironmentFingerprint(None, "Linux", "x86_64", "3.11.7", "2.4.6")
+        assert known.key() != unknown.key()
+        assert not unknown.complete
+        assert known.complete
+
+    def test_describe_marks_unknown_fields(self):
+        partial = EnvironmentFingerprint(cpu_count=1)
+        description = partial.describe()
+        assert description.startswith(partial.key())
+        assert "cpu_count=1" in description and "platform=?" in description
+
+
+class TestCapture:
+    def test_capture_fingerprint_is_complete_and_stable(self):
+        first, second = capture_fingerprint(), capture_fingerprint()
+        assert first == second
+        assert first.complete
+        assert first.cpu_count >= 1
+
+    def test_cpu_count_respects_affinity_not_host(self):
+        import os
+
+        assert visible_cpu_count() == len(os.sched_getaffinity(0))
+
+    def test_capture_environment_carries_git_hash(self):
+        environment = capture_environment()
+        assert set(FINGERPRINT_FIELDS) <= set(environment)
+        assert "git_hash" in environment
+        # This repo is a checkout, so the hash resolves here.
+        assert environment["git_hash"] == git_revision()
+        assert environment["git_hash"]
+        # The block is JSON-serialisable as benchmark payloads require.
+        json.dumps(environment)
+
+
+class TestFromMapping:
+    def test_round_trips_captured_block(self):
+        environment = capture_environment()
+        assert fingerprint_from_mapping(environment) == capture_fingerprint()
+
+    def test_partial_block_yields_partial_fingerprint(self):
+        fingerprint = fingerprint_from_mapping({"cpu_count": 1, "python": "3.11.4"})
+        assert fingerprint.cpu_count == 1
+        assert fingerprint.python == "3.11.4"
+        assert fingerprint.platform is None
+
+    def test_extras_are_ignored(self):
+        """The old ad-hoc blocks carried run-scoped extras."""
+        fingerprint = fingerprint_from_mapping(
+            {"cpu_count": 1, "pool_startup_seconds": 0.013, "git_hash": "abc"}
+        )
+        assert fingerprint == EnvironmentFingerprint(cpu_count=1)
+
+    def test_none_and_missing_agree(self):
+        assert fingerprint_from_mapping(None) == fingerprint_from_mapping({})
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(TypeError):
+            fingerprint_from_mapping([("cpu_count", 1)])
