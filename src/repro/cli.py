@@ -59,6 +59,19 @@ but only between runs whose environment fingerprints match::
     python -m repro bench record BENCH_*.json --db traj.sqlite
     python -m repro bench report --db traj.sqlite
     python -m repro bench gate --benchmark serving --db traj.sqlite
+
+Every long-running command (``serve``, ``index build``, ``update``) takes
+``--trace FILE`` to stream schema-validated JSONL spans and a final metrics
+snapshot to ``FILE`` (the network serve tier writes one sidecar per worker,
+``FILE.workerN``).  The ``obs`` subcommand consumes those traces offline:
+``validate`` proves every line against the span schema, ``report`` renders
+per-span latency tables plus the embedded metrics snapshot, and
+``report --record`` bridges the snapshot into the same sqlite trajectory
+store the benchmarks use::
+
+    python -m repro serve my.scanidx --requests workload.txt --trace serve.jsonl
+    python -m repro obs validate serve.jsonl
+    python -m repro obs report serve.jsonl --record traj.sqlite
 """
 
 from __future__ import annotations
@@ -68,6 +81,7 @@ import sys
 from pathlib import Path
 from typing import Sequence, TextIO
 
+from . import obs
 from .bench.datasets import DATASETS, SCALES, dataset_summaries
 from .bench.experiments import ALL_EXPERIMENTS
 from .bench.recording import DEFAULT_DB_NAME, record_payload
@@ -420,6 +434,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         if stream is not sys.stdin:
             stream.close()
+        # The final snapshot (written by main()'s finalise) should carry the
+        # session's request/cache totals, exactly as the worker loop does.
+        if obs.on():
+            session.sync_metrics()
     stats = session.stats()
     print(
         f"served {stats['served']} requests: {stats['cache_hits']} cache hits "
@@ -593,6 +611,54 @@ def _command_bench_gate(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _command_obs_report(args: argparse.Namespace) -> int:
+    # Submodule import: repro.obs deliberately does not re-export report /
+    # bridge (they reach through repro.bench, which imports back into the
+    # instrumented core during package init).
+    from .obs import report as obs_report
+    from .obs.schema import TraceSchemaError
+
+    try:
+        rendered = obs_report.render_trace_report(args.trace_file)
+    except OSError as error:
+        print(f"error: cannot read trace {args.trace_file!r}: {error}",
+              file=sys.stderr)
+        return 2
+    except TraceSchemaError as error:
+        print(f"error: invalid trace: {error}", file=sys.stderr)
+        return 2
+    print(rendered)
+    if args.record is not None:
+        from .obs import bridge as obs_bridge
+
+        obs_bridge.record_trace(
+            args.record, args.trace_file,
+            source=f"repro obs report {args.trace_file}",
+        )
+    return 0
+
+
+def _command_obs_validate(args: argparse.Namespace) -> int:
+    from .obs.schema import TraceSchemaError, validate_trace_path
+
+    try:
+        counts = validate_trace_path(args.trace_file)
+    except OSError as error:
+        print(f"error: cannot read trace {args.trace_file!r}: {error}",
+              file=sys.stderr)
+        return 2
+    except TraceSchemaError as error:
+        print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    breakdown = ", ".join(
+        f"{counts[kind]} {kind}s" for kind in ("span", "event", "snapshot")
+        if counts.get(kind)
+    )
+    print(f"valid: {args.trace_file} ({total} lines: {breakdown or 'empty'})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser behind ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -600,6 +666,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Parallel index-based structural graph clustering (SCAN) reproduction",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_argument(subparser):
+        subparser.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="write schema-validated JSONL spans/events plus a final "
+                 "metrics snapshot to FILE (inspect with 'repro obs report')",
+        )
 
     datasets = subparsers.add_parser("datasets", help="summarise the stand-in datasets")
     datasets.add_argument("--scale", choices=SCALES, default="bench")
@@ -732,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker processes for the construction hot "
                                   "spots (0 = all cores; default 1 = serial; "
                                   "any count builds a bit-identical index)")
+    add_trace_argument(index_build)
     index_build.set_defaults(handler=_command_index_build)
 
     index_query = index_subparsers.add_parser(
@@ -769,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the high-churn re-sort "
                              "fallback (0 = all cores; default 1 = serial)")
+    add_trace_argument(update)
     update.set_defaults(handler=_command_update)
 
     serve = subparsers.add_parser(
@@ -794,7 +869,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --port mode, each holding "
                             "a session over the same mmapped artifact "
                             "(default: 1)")
+    add_trace_argument(serve)
     serve.set_defaults(handler=_command_serve)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="validate and report JSONL traces written with --trace"
+    )
+    obs_subparsers = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_subparsers.add_parser(
+        "report", help="render per-span latency tables and the final metrics "
+                       "snapshot of a trace file"
+    )
+    obs_report.add_argument("trace_file", metavar="TRACE",
+                            help="JSONL trace written with --trace")
+    obs_report.add_argument("--record", metavar="DB", type=Path, nargs="?",
+                            const=Path(DEFAULT_DB_NAME), default=None,
+                            help="also bridge the trace's metrics snapshot "
+                                 "into the sqlite trajectory store "
+                                 f"(default: ./{DEFAULT_DB_NAME})")
+    obs_report.set_defaults(handler=_command_obs_report)
+
+    obs_validate = obs_subparsers.add_parser(
+        "validate", help="check every trace line against the span schema "
+                         "(exit 1 on the first violation)"
+    )
+    obs_validate.add_argument("trace_file", metavar="TRACE",
+                              help="JSONL trace written with --trace")
+    obs_validate.set_defaults(handler=_command_obs_validate)
 
     return parser
 
@@ -803,7 +905,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.handler(args)
+    # One tracer for the whole command: the handler (and, through the
+    # process-global runtime, every instrumented layer beneath it) streams
+    # into trace_path, and finalise() appends the final metrics snapshot so
+    # the file is self-contained even if the command failed midway.
+    obs.configure(trace_path)
+    try:
+        return args.handler(args)
+    finally:
+        obs.finalise()
 
 
 if __name__ == "__main__":  # pragma: no cover

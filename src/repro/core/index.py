@@ -60,6 +60,7 @@ import numpy as np
 
 from contextlib import nullcontext
 
+from .. import obs
 from ..graphs.graph import Graph
 from ..lsh.approximate import ApproximationConfig, compute_approximate_similarities
 from ..parallel.execute import executor_for
@@ -155,26 +156,32 @@ class ScanIndex:
         scheduler = scheduler if scheduler is not None else Scheduler(num_workers)
         started = time.perf_counter()
         with executor_for(jobs, num_arcs=graph.num_arcs) as executor:
-            if approximate is not None:
-                if approximate.measure != measure:
-                    approximate = ApproximationConfig(
-                        measure=measure,
-                        num_samples=approximate.num_samples,
-                        seed=approximate.seed,
-                        use_k_partition_minhash=approximate.use_k_partition_minhash,
-                        degree_threshold=approximate.degree_threshold,
+            with obs.span(
+                "build.similarities",
+                measure=measure,
+                backend="lsh" if approximate is not None else backend,
+                edges=graph.num_edges,
+            ):
+                if approximate is not None:
+                    if approximate.measure != measure:
+                        approximate = ApproximationConfig(
+                            measure=measure,
+                            num_samples=approximate.num_samples,
+                            seed=approximate.seed,
+                            use_k_partition_minhash=approximate.use_k_partition_minhash,
+                            degree_threshold=approximate.degree_threshold,
+                        )
+                    similarities = compute_approximate_similarities(
+                        graph, approximate, scheduler=scheduler
                     )
-                similarities = compute_approximate_similarities(
-                    graph, approximate, scheduler=scheduler
-                )
-            else:
-                similarities = compute_similarities(
-                    graph,
-                    measure=measure,
-                    backend=backend,
-                    scheduler=scheduler,
-                    executor=executor,
-                )
+                else:
+                    similarities = compute_similarities(
+                        graph,
+                        measure=measure,
+                        backend=backend,
+                        scheduler=scheduler,
+                        executor=executor,
+                    )
             return cls.build_from_similarities(
                 graph,
                 similarities,
@@ -209,21 +216,24 @@ class ScanIndex:
         else:
             executor_context = executor_for(jobs, num_arcs=graph.num_arcs)
         with executor_context as executor:
-            neighbor_order = build_neighbor_order(
-                graph,
-                similarities,
-                scheduler=scheduler,
-                use_integer_sort=use_integer_sort,
-                executor=executor,
-            )
-            core_order = build_core_order(
-                graph,
-                neighbor_order,
-                scheduler=scheduler,
-                use_integer_sort=use_integer_sort,
-                executor=executor,
-            )
+            with obs.span("build.neighbor_order", arcs=graph.num_arcs):
+                neighbor_order = build_neighbor_order(
+                    graph,
+                    similarities,
+                    scheduler=scheduler,
+                    use_integer_sort=use_integer_sort,
+                    executor=executor,
+                )
+            with obs.span("build.core_order", arcs=graph.num_arcs):
+                core_order = build_core_order(
+                    graph,
+                    neighbor_order,
+                    scheduler=scheduler,
+                    use_integer_sort=use_integer_sort,
+                    executor=executor,
+                )
         elapsed = time.perf_counter() - started
+        obs.histogram("build.construction_seconds").observe(elapsed)
         report = CostReport.from_counter(
             label=f"index-construction[{similarities.measure}]",
             counter=scheduler.counter,

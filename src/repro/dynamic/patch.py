@@ -55,6 +55,7 @@ import time
 
 import numpy as np
 
+from .. import obs
 from ..core.core_order import CoreOrder, build_core_order
 from ..core.neighbor_order import NeighborOrder, build_neighbor_order
 from ..graphs.graph import Graph
@@ -867,29 +868,37 @@ def apply_updates(
     changed_arcs = int(np.count_nonzero(changed_arc_mask))
     if changed_arcs > ORDER_REBUILD_CHURN * max(new_graph.num_arcs, 1):
         order_strategy = "resort"
+        obs.counter("dynamic.order_repair.resort_total").inc()
         from ..parallel.execute import executor_for
 
-        with executor_for(jobs, num_arcs=new_graph.num_arcs) as executor:
-            neighbor_order = build_neighbor_order(
-                new_graph, similarities, scheduler=scheduler, executor=executor
-            )
-            core_order = build_core_order(
-                new_graph, neighbor_order, scheduler=scheduler, executor=executor
-            )
+        with obs.span(
+            "dynamic.order_repair", strategy="resort", changed_arcs=changed_arcs
+        ):
+            with executor_for(jobs, num_arcs=new_graph.num_arcs) as executor:
+                neighbor_order = build_neighbor_order(
+                    new_graph, similarities, scheduler=scheduler, executor=executor
+                )
+                core_order = build_core_order(
+                    new_graph, neighbor_order, scheduler=scheduler, executor=executor
+                )
     else:
         order_strategy = "merge"
-        neighbor_order = _patch_neighbor_order(
-            index.neighbor_order, graph, new_graph, values, touched_mask,
-            changed_arc_mask, scheduler,
-        )
-        core_order = _patch_core_order(
-            index.core_order,
-            graph,
-            new_graph,
-            neighbor_order,
-            touched_mask,
-            scheduler,
-        )
+        obs.counter("dynamic.order_repair.merge_total").inc()
+        with obs.span(
+            "dynamic.order_repair", strategy="merge", changed_arcs=changed_arcs
+        ):
+            neighbor_order = _patch_neighbor_order(
+                index.neighbor_order, graph, new_graph, values, touched_mask,
+                changed_arc_mask, scheduler,
+            )
+            core_order = _patch_core_order(
+                index.core_order,
+                graph,
+                new_graph,
+                neighbor_order,
+                touched_mask,
+                scheduler,
+            )
 
     report = UpdateReport(
         insertions=batch.num_insertions,
@@ -899,6 +908,26 @@ def apply_updates(
         affected_vertices=int(affected_vertices.size),
         wall_seconds=time.perf_counter() - started,
         order_strategy=order_strategy,
+    )
+    # Always-on update metrics (one batch = one observation, a cold path):
+    # the affected-set size distributions and the churn decision are the
+    # post-hoc record of how incremental the workload actually was.
+    from ..obs.metrics import SIZE_BOUNDS
+
+    obs.histogram("dynamic.affected_edges", SIZE_BOUNDS).observe(
+        int(affected_edges.size)
+    )
+    obs.histogram("dynamic.affected_vertices", SIZE_BOUNDS).observe(
+        int(affected_vertices.size)
+    )
+    obs.histogram("dynamic.update_seconds").observe(report.wall_seconds)
+    obs.event(
+        "dynamic.apply_updates",
+        insertions=report.insertions,
+        deletions=report.deletions,
+        affected_edges=report.affected_edges,
+        affected_vertices=report.affected_vertices,
+        strategy=order_strategy,
     )
 
     # Commit, then tell the world: lineage for persistence, an epoch bump

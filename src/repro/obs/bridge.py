@@ -1,0 +1,82 @@
+"""Bridge observability snapshots into the benchmark trajectory store.
+
+PR 8's sqlite store tracks (benchmark, rung, cell, metric) cells across
+runs; this module reshapes a metrics snapshot or trace summary into the
+same payload shape every ``BENCH_*.json`` runner records, so request
+latency histograms and restart counters join the cross-PR trajectory
+report next to throughput numbers -- one history for how fast the system
+is *and* how it behaved getting there.
+
+Histogram bucket vectors are deliberately dropped here: the store wants
+scalar cells it can compare run-over-run (count, sum, mean, p50, p99),
+not 27-element count arrays that would flatten into meaningless
+per-bucket cells.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..bench.recording import record_payload
+from .report import summarize_trace
+
+__all__ = ["record_snapshot", "record_trace", "snapshot_payload", "trace_payload"]
+
+_HISTOGRAM_FIELDS = ("count", "sum", "mean", "p50", "p99")
+
+
+def snapshot_payload(snapshot: dict, *, benchmark: str = "observability") -> dict:
+    """Reshape a metrics snapshot into a bench-store payload."""
+    payload: dict = {"benchmark": benchmark}
+    if snapshot.get("counters"):
+        payload["counters"] = dict(snapshot["counters"])
+    if snapshot.get("gauges"):
+        payload["gauges"] = dict(snapshot["gauges"])
+    histograms = {
+        name: {field: summary.get(field, 0) for field in _HISTOGRAM_FIELDS}
+        for name, summary in snapshot.get("histograms", {}).items()
+    }
+    if histograms:
+        payload["histograms"] = histograms
+    return payload
+
+
+def trace_payload(path: str | Path, *, benchmark: str = "observability") -> dict:
+    """Reshape a trace file's summary into a bench-store payload."""
+    summary = summarize_trace(path)
+    payload: dict = {"benchmark": benchmark, "trace_lines": summary["lines"]}
+    if summary["spans"]:
+        payload["spans"] = {name: dict(s) for name, s in summary["spans"].items()}
+    if summary["events"]:
+        payload["events"] = dict(summary["events"])
+    if summary["snapshot"] is not None:
+        embedded = snapshot_payload(summary["snapshot"], benchmark=benchmark)
+        embedded.pop("benchmark")
+        payload.update(embedded)
+    return payload
+
+
+def record_snapshot(
+    db_path: Path,
+    snapshot: dict,
+    *,
+    benchmark: str = "observability",
+    source: str = "obs",
+) -> int:
+    """Record one metrics snapshot into the trajectory store; return run id."""
+    return record_payload(
+        db_path, snapshot_payload(snapshot, benchmark=benchmark), source=source
+    )
+
+
+def record_trace(
+    db_path: Path,
+    trace_path: str | Path,
+    *,
+    benchmark: str = "observability",
+    source: str = "obs",
+) -> int:
+    """Record one trace file's summary into the trajectory store."""
+    return record_payload(
+        db_path, trace_payload(trace_path, benchmark=benchmark), source=source
+    )

@@ -1,0 +1,133 @@
+"""Process-global observability state: one registry, one tracer.
+
+Instrumented subsystems (serving, parallel construction, dynamic
+updates, storage) import this module and call :func:`span` /
+:func:`event` / :func:`counter` without threading an observability
+object through every signature -- the alternative would touch dozens of
+call chains for a cross-cutting concern.  The state is deliberately
+process-local: forked serving workers call :func:`reset` first thing so
+they never inherit (and double-count) the parent's registry, then
+:func:`configure` their own per-worker trace file.
+
+By default the tracer is :data:`~repro.obs.trace.NULL_TRACER` and the
+registry exists but is only written by cold paths (restarts,
+degradations, stage timings) or at snapshot time -- which is what keeps
+the disabled path within noise of uninstrumented code.  Hot per-request
+paths additionally gate on :func:`on` so even the null-span call is
+skipped when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import MetricsRegistry
+from .trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "configure",
+    "counter",
+    "event",
+    "finalise",
+    "gauge",
+    "histogram",
+    "install",
+    "metrics",
+    "on",
+    "reset",
+    "span",
+    "tracer",
+]
+
+
+class _State:
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = NULL_TRACER
+
+
+_STATE = _State()
+
+
+# -- accessors -------------------------------------------------------------
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _STATE.registry
+
+
+def tracer():
+    """The active tracer (:data:`NULL_TRACER` unless configured)."""
+    return _STATE.tracer
+
+
+def on() -> bool:
+    """True when tracing is enabled -- the hot-path gate."""
+    return _STATE.tracer.enabled
+
+
+# -- convenience forwarding (the call sites' whole vocabulary) -------------
+def span(name: str, **attrs):
+    return _STATE.tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    _STATE.tracer.event(name, **attrs)
+
+
+def counter(name: str):
+    return _STATE.registry.counter(name)
+
+
+def gauge(name: str):
+    return _STATE.registry.gauge(name)
+
+
+def histogram(name: str, bounds: tuple | None = None):
+    return _STATE.registry.histogram(name, bounds)
+
+
+# -- lifecycle -------------------------------------------------------------
+def configure(trace_path, *, clock=time.perf_counter) -> Tracer:
+    """Enable tracing to ``trace_path`` (closing any previous file tracer)."""
+    previous = _STATE.tracer
+    _STATE.tracer = Tracer.to_path(trace_path, clock=clock)
+    previous.close()
+    return _STATE.tracer
+
+
+def install(*, tracer=None, registry=None) -> tuple:
+    """Swap in a tracer and/or registry; returns the previous pair.
+
+    The test-suite seam: install a tracer over an in-memory sink with a
+    fake clock, run the code under test, restore the previous pair in a
+    ``finally`` -- no file system, byte-stable output.
+    """
+    previous = (_STATE.tracer, _STATE.registry)
+    if tracer is not None:
+        _STATE.tracer = tracer
+    if registry is not None:
+        _STATE.registry = registry
+    return previous
+
+
+def reset() -> None:
+    """Fresh registry + null tracer (first statement of forked workers)."""
+    _STATE.tracer.close()
+    _STATE.tracer = NULL_TRACER
+    _STATE.registry = MetricsRegistry()
+
+
+def finalise(name: str = "final") -> None:
+    """Write a closing metrics snapshot, then disable and close the tracer.
+
+    A traced CLI run ends with this, so every trace file is
+    self-contained: the spans carry the timeline, the final ``snapshot``
+    line carries the aggregate histograms and counters.
+    """
+    active = _STATE.tracer
+    if active.enabled:
+        active.snapshot(name, _STATE.registry.snapshot())
+    _STATE.tracer = NULL_TRACER
+    active.close()

@@ -69,6 +69,7 @@ try:  # pragma: no cover - import guard exercised via monkeypatching
 except ImportError:  # pragma: no cover
     _shared_memory = None
 
+from .. import obs
 from ..testing.faults import fault_point
 from .sorting import packed_argsort
 from .supervise import (
@@ -139,6 +140,10 @@ def resolve_jobs(jobs: int) -> int:
 
 
 def _warn_once(key: str, message: str) -> None:
+    # The warning fires once per process; the counter counts every trigger,
+    # so post-hoc inspection sees how often a fallback happened, not just
+    # that it ever did.
+    obs.counter(f"parallel.fallback.{key.replace('-', '_')}_total").inc()
     if key not in _warned:
         _warned.add(key)
         warnings.warn(message, RuntimeWarning, stacklevel=3)
@@ -438,6 +443,8 @@ class ParallelExecutor:
 
     def _degrade(self, stage: str, error: BaseException) -> None:
         """Abandon the pool: tear it down and warn exactly once."""
+        obs.counter("parallel.degraded_total").inc()
+        obs.event("parallel.degraded", stage=stage)
         first = not self._degraded
         self._degraded = True
         if self._pool is not None:
@@ -503,20 +510,25 @@ class ParallelExecutor:
                 packed, universe=universe, max_segment=max_segment, strategy=strategy
             )
         columns = _ColumnSet()
-        try:
-            packed_spec = columns.share(packed)
-            out_spec, out = columns.allocate((total,), np.int64)
-            tasks = [
-                (index, packed_spec, out_spec, int(lo), int(hi),
-                 universe, max_segment, strategy)
-                for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
-            ]
-            # Sort tasks overwrite disjoint slices deterministically, so a
-            # retry re-runs with the original arguments (no respawn hook).
-            if self._dispatch(_sort_worker, tasks, stage="segmented argsort"):
-                return out.copy()
-        finally:
-            columns.release()
+        with obs.span(
+            "parallel.segmented_argsort",
+            elements=total,
+            shards=int(bounds.shape[0] - 1),
+        ):
+            try:
+                packed_spec = columns.share(packed)
+                out_spec, out = columns.allocate((total,), np.int64)
+                tasks = [
+                    (index, packed_spec, out_spec, int(lo), int(hi),
+                     universe, max_segment, strategy)
+                    for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
+                ]
+                # Sort tasks overwrite disjoint slices deterministically, so a
+                # retry re-runs with the original arguments (no respawn hook).
+                if self._dispatch(_sort_worker, tasks, stage="segmented argsort"):
+                    return out.copy()
+            finally:
+                columns.release()
         # Supervision gave up: finish this stage on the serial path, which
         # produces the identical permutation.
         return packed_argsort(
@@ -570,52 +582,58 @@ class ParallelExecutor:
              np.asarray([num_oriented], dtype=np.int64)]
         ))
         columns = _ColumnSet()
-        try:
-            specs = {
-                "indptr": columns.share(oriented.indptr),
-                "targets": columns.share(oriented.indices),
-                "edge_ids": columns.share(oriented.edge_ids),
-                "weights": columns.share(oriented.weights),
-                "sources": columns.share(graph.oriented_arc_sources()),
-            }
-            if probe == "global":
-                specs["comp"] = columns.share(graph.oriented_search_keys())
-            num_tasks = int(bounds.shape[0] - 1)
-            # One private block per task rather than one big slab: retries
-            # of a non-idempotent accumulation must land in *fresh* memory,
-            # and per-task blocks let the respawn hook swap a single shard's
-            # output without touching its siblings.
-            outputs: dict[int, np.ndarray] = {}
-            tasks = []
-            for row, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
-                out_spec, out = columns.allocate((1, num_edges), np.float64)
-                outputs[row] = out
-                tasks.append((
-                    row, specs, out_spec, 0, graph.num_vertices,
-                    int(lo), int(hi), chunk_pairs, probe,
-                ))
+        with obs.span(
+            "parallel.similarity_pass",
+            arcs=num_oriented,
+            pairs=total_pairs,
+            shards=int(bounds.shape[0] - 1),
+        ):
+            try:
+                specs = {
+                    "indptr": columns.share(oriented.indptr),
+                    "targets": columns.share(oriented.indices),
+                    "edge_ids": columns.share(oriented.edge_ids),
+                    "weights": columns.share(oriented.weights),
+                    "sources": columns.share(graph.oriented_arc_sources()),
+                }
+                if probe == "global":
+                    specs["comp"] = columns.share(graph.oriented_search_keys())
+                num_tasks = int(bounds.shape[0] - 1)
+                # One private block per task rather than one big slab: retries
+                # of a non-idempotent accumulation must land in *fresh* memory,
+                # and per-task blocks let the respawn hook swap a single shard's
+                # output without touching its siblings.
+                outputs: dict[int, np.ndarray] = {}
+                tasks = []
+                for row, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+                    out_spec, out = columns.allocate((1, num_edges), np.float64)
+                    outputs[row] = out
+                    tasks.append((
+                        row, specs, out_spec, 0, graph.num_vertices,
+                        int(lo), int(hi), chunk_pairs, probe,
+                    ))
 
-            def respawn(index: int, attempt: int) -> tuple:
-                # Accumulation is += into the block, so an attempt that
-                # partially ran (or a straggler still limping along) has
-                # poisoned its block.  Hand the retry a fresh zeroed one and
-                # point the merge at it; the old block is never read again.
-                out_spec, out = columns.allocate((1, num_edges), np.float64)
-                outputs[index] = out
-                base = tasks[index]
-                return (base[0], base[1], out_spec, 0) + base[4:]
+                def respawn(index: int, attempt: int) -> tuple:
+                    # Accumulation is += into the block, so an attempt that
+                    # partially ran (or a straggler still limping along) has
+                    # poisoned its block.  Hand the retry a fresh zeroed one and
+                    # point the merge at it; the old block is never read again.
+                    out_spec, out = columns.allocate((1, num_edges), np.float64)
+                    outputs[index] = out
+                    base = tasks[index]
+                    return (base[0], base[1], out_spec, 0) + base[4:]
 
-            if not self._dispatch(
-                _numerator_worker, tasks,
-                stage="similarity pass", respawn=respawn,
-            ):
-                return None
-            # Shard order; integer-valued columns, so the sum is exact and
-            # equal to the serial left-to-right accumulation.  Copy out of
-            # shared memory before the blocks are released below.
-            merged = outputs[0][0].copy()
-            for row in range(1, num_tasks):
-                merged += outputs[row][0]
-            return merged
-        finally:
-            columns.release()
+                if not self._dispatch(
+                    _numerator_worker, tasks,
+                    stage="similarity pass", respawn=respawn,
+                ):
+                    return None
+                # Shard order; integer-valued columns, so the sum is exact and
+                # equal to the serial left-to-right accumulation.  Copy out of
+                # shared memory before the blocks are released below.
+                merged = outputs[0][0].copy()
+                for row in range(1, num_tasks):
+                    merged += outputs[row][0]
+                return merged
+            finally:
+                columns.release()

@@ -45,6 +45,7 @@ import multiprocessing
 import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..testing.faults import fault_point
 
 __all__ = [
@@ -168,18 +169,33 @@ def run_supervised(pool, func, tasks, *, policy: SupervisionPolicy,
     whole succeeded.
     """
     # Submit everything up front -- workers start on later shards while the
-    # master awaits earlier ones -- then await in task order.
+    # master awaits earlier ones -- then await in task order.  Supervision
+    # events are cold (per shard, not per element), so the counters and
+    # trace events here are always on.
+    task_seconds = obs.histogram("parallel.task_seconds")
+    retries_total = obs.counter("parallel.task_retries_total")
+    timeouts_total = obs.counter("parallel.task_timeouts_total")
+    lost_total = obs.counter("parallel.tasks_lost_total")
     attempts = [1] * len(tasks)
     lost = 0
+    dispatched = time.perf_counter()
     pending = [_submit(pool, func, args) for args in tasks]
     for index in range(len(tasks)):
         while True:
             try:
                 pending[index].get(timeout=policy.task_timeout)
+                # Dispatch-to-completion latency of this task (awaits run in
+                # task order, so this also bounds the straggler tail).
+                task_seconds.observe(time.perf_counter() - dispatched)
                 break
             except multiprocessing.TimeoutError as error:
                 cause: BaseException = error
                 lost += 1
+                lost_total.inc()
+                timeouts_total.inc()
+                obs.event(
+                    "parallel.task_timeout", task=index, attempt=attempts[index]
+                )
             except policy.transient as error:
                 cause = error
             except Exception as error:
@@ -191,5 +207,7 @@ def run_supervised(pool, func, tasks, *, policy: SupervisionPolicy,
                 index, attempts[index]
             )
             attempts[index] += 1
+            retries_total.inc()
+            obs.event("parallel.task_retry", task=index, attempt=attempts[index])
             pending[index] = _submit(pool, func, args)
     return lost

@@ -38,9 +38,12 @@ from __future__ import annotations
 import asyncio
 import json
 import multiprocessing
+import time
 import warnings
 from pathlib import Path
 
+from .. import obs
+from ..obs.metrics import merge_snapshots
 from ..parallel.supervise import DegradedExecutionWarning, SupervisionPolicy
 from . import wire
 from .worker import worker_main
@@ -90,6 +93,7 @@ class _WorkerHandle:
                 "cache_size": self.server.cache_size,
                 "deterministic": self.server.deterministic,
                 "generation": self.server.generation,
+                "trace_path": self.server._worker_trace_path(self.worker_id),
             },
             daemon=True,
         )
@@ -141,11 +145,23 @@ class _WorkerHandle:
 
     async def stop(self) -> None:
         """Polite shutdown: ask the loop to exit, then reap the process."""
+        stopped = False
         if self.connection is not None:
             try:
                 self.connection.send(("stop",))
+                stopped = True
             except (OSError, ValueError):
                 pass
+        if stopped and self.process is not None:
+            # Grace period before the unconditional teardown: the worker's
+            # exit path syncs its session counters and writes the final
+            # trace snapshot, which a premature terminate() would truncate.
+            deadline = asyncio.get_running_loop().time() + 2.0
+            while (
+                self.process.is_alive()
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
         self.kill()
 
 
@@ -184,6 +200,23 @@ class ClusterServer:
 
         self._index = ScanIndex.load(self.artifact_path)
         self._snapper = EpsilonSnapper.from_index(self._index)
+        # Metric handles resolved once: the per-request cost of always-on
+        # metrics is one clock pair, one histogram bisect, one counter add.
+        self._request_seconds = obs.histogram("serve.request_seconds")
+        self._requests_total = obs.counter("serve.requests_total")
+        self._errors_total = obs.counter("serve.errors_total")
+        self._restarts_total = obs.counter("serve.worker_restarts_total")
+        self._degraded_requests_total = obs.counter("serve.requests_degraded_total")
+
+    def _worker_trace_path(self, worker_id: int) -> str | None:
+        """Per-worker trace file next to the front end's (or ``None``).
+
+        Workers cannot share the front end's JSONL file -- concurrent line
+        writes from forked processes interleave -- so worker ``k`` traces
+        to ``<front-end-path>.worker<k>``.
+        """
+        path = obs.tracer().path
+        return None if path is None else f"{path}.worker{worker_id}"
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -268,10 +301,13 @@ class ClusterServer:
             await self._invalidate()
             return f"invalidated generation={self.generation}"
         if command == "stats":
-            return json.dumps(self.stats(), sort_keys=True)
+            return json.dumps(await self.stats_full(), sort_keys=True)
+        if command == "metrics":
+            return json.dumps(await self.metrics_snapshot(), sort_keys=True)
         return wire.format_error(f"unknown control command {line!r}")
 
     async def _handle_request(self, line: str) -> str:
+        started = time.perf_counter()
         try:
             mu, epsilon = wire.parse_request(line)
             if mu < 2:
@@ -279,13 +315,23 @@ class ClusterServer:
             if not 0.0 <= epsilon <= 1.0:
                 raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
         except ValueError as error:
+            self._errors_total.inc()
             return wire.format_error(error)
         self.served += 1
+        self._requests_total.inc()
         if self.degraded:
-            return self._serve_in_process(mu, epsilon)
+            response = self._serve_in_process(mu, epsilon)
+            self._request_seconds.observe(time.perf_counter() - started)
+            return response
         rank = self._snapper.rank(epsilon)
-        handle = self._workers[route(mu, rank, len(self._workers))]
-        return await self._dispatch(handle, mu, epsilon)
+        worker_index = route(mu, rank, len(self._workers))
+        handle = self._workers[worker_index]
+        # Unconditional span: on this path one shared no-op context manager
+        # is noise against the pipe round trip, so no obs.on() gate needed.
+        with obs.span("serve.request", mu=mu, rank=rank, worker=worker_index):
+            response = await self._dispatch(handle, mu, epsilon)
+        self._request_seconds.observe(time.perf_counter() - started)
+        return response
 
     async def _dispatch(self, handle: _WorkerHandle, mu: int, epsilon: float) -> str:
         policy = self.policy
@@ -312,6 +358,12 @@ class ClusterServer:
                 try:
                     handle.spawn()
                     handle.restarts += 1
+                    self._restarts_total.inc()
+                    obs.event(
+                        "serve.worker.restart",
+                        worker=handle.worker_id,
+                        attempt=attempt,
+                    )
                 except OSError as error:
                     self._degrade(
                         f"worker {handle.worker_id} could not be respawned: {error!r}"
@@ -326,6 +378,11 @@ class ClusterServer:
     # -- degradation and generations ---------------------------------------
 
     def _degrade(self, reason: str) -> None:
+        # The counter and trace event fire on every trigger -- unlike the
+        # warning, which is once per server -- so post-hoc inspection sees
+        # how often the pool failed, not just that it ever did.
+        obs.counter("serve.degraded_total").inc()
+        obs.event("serve.degraded", reason=reason)
         if self.degraded:
             return
         self.degraded = True
@@ -338,6 +395,7 @@ class ClusterServer:
         )
 
     def _serve_in_process(self, mu: int, epsilon: float) -> str:
+        self._degraded_requests_total.inc()
         if self._fallback_session is None:
             self._fallback_session = self._index.session(cache_size=self.cache_size)
         try:
@@ -367,12 +425,13 @@ class ClusterServer:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
-        """Routing, health and generation counters (the ``!stats`` answer)."""
+        """Routing, health and generation counters (front-end view only)."""
         return {
             "workers": self.num_workers,
             "generation": self.generation,
             "degraded": self.degraded,
             "served": self.served,
+            "restarts_total": sum(handle.restarts for handle in self._workers),
             "per_worker": [
                 {
                     "worker": handle.worker_id,
@@ -383,3 +442,58 @@ class ClusterServer:
                 for handle in self._workers
             ],
         }
+
+    async def _gather_from_workers(self, kind: str) -> list:
+        """One ``(kind, request_id)`` round trip per live worker, in order.
+
+        Returns the reply payload per worker, ``None`` for a worker that is
+        gone or times out -- introspection must never take the tier down,
+        so failures degrade to missing data rather than restarts.
+        """
+        replies = []
+        for handle in self._workers:
+            if handle.connection is None:
+                replies.append(None)
+                continue
+            async with handle.lock:
+                self._request_counter += 1
+                try:
+                    reply = await handle.request(
+                        (kind, self._request_counter), self.policy.task_timeout
+                    )
+                except (asyncio.TimeoutError, OSError, ValueError):
+                    reply = None
+            replies.append(
+                reply[2] if reply is not None and reply[0] == "ok" else None
+            )
+        return replies
+
+    async def stats_full(self) -> dict:
+        """The ``!stats`` answer: front-end counters plus per-worker LRUs.
+
+        Each worker's entry gains an ``lru`` block -- its session's
+        served/hit counters and cache stats, fetched over the stats channel
+        -- or ``None`` when the worker could not answer.
+        """
+        stats = self.stats()
+        for entry, lru in zip(
+            stats["per_worker"], await self._gather_from_workers("stats")
+        ):
+            entry["lru"] = lru
+        return stats
+
+    async def metrics_snapshot(self) -> dict:
+        """The ``!metrics`` answer: front-end registry + all worker registries.
+
+        Workers snapshot their own registries (after syncing session
+        counters) and the snapshots are folded together with
+        :func:`~repro.obs.metrics.merge_snapshots` -- a pure merge over
+        copies, so repeated ``!metrics`` calls never double-count.
+        """
+        if self._fallback_session is not None:
+            self._fallback_session.sync_metrics()
+        merged = obs.metrics().snapshot()
+        for snapshot in await self._gather_from_workers("metrics"):
+            if snapshot is not None:
+                merged = merge_snapshots(merged, snapshot)
+        return merged

@@ -51,6 +51,7 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import obs
 from ..core.clustering import UNCLUSTERED, Clustering
 from ..core.query import (
     QueryBuffers,
@@ -362,9 +363,20 @@ class ClusterSession:
         compact = self.cache.get(key) if self.cache is not None else None
         from_cache = compact is not None
         if compact is None:
-            compact = self._compute_compact(mu, epsilon, deterministic_borders)
+            # Tracing is gated on obs.on() (not just hidden behind the null
+            # tracer) so the disabled serve path is byte-for-byte the
+            # pre-instrumentation code: no span object, no attr dict.
+            if obs.on():
+                with obs.span("serve.session.compute", mu=mu, rank=rank):
+                    compact = self._compute_compact(
+                        mu, epsilon, deterministic_borders
+                    )
+            else:
+                compact = self._compute_compact(mu, epsilon, deterministic_borders)
             if self.cache is not None:
                 self.cache.put(key, compact)
+        elif obs.on():
+            obs.event("serve.session.cache_hit", mu=mu, rank=rank)
         self.served += 1
         self.cache_hits += int(from_cache)
         return ServedResult(
@@ -555,6 +567,29 @@ class ClusterSession:
             "hit_rate": self.cache_hits / self.served if self.served else 0.0,
             "cache": self.cache.stats() if self.cache is not None else None,
         }
+
+    def sync_metrics(self, registry=None) -> None:
+        """Copy this session's counters into a metrics registry.
+
+        The hot serve path keeps its cheap Python attributes (``served``,
+        ``cache_hits``, the cache's own counters); this sync happens only
+        at snapshot time (``!metrics``, a worker's final trace snapshot),
+        so per-request overhead with instrumentation disabled stays zero.
+        Counter *values are assigned*, not incremented: syncing twice is
+        idempotent.
+        """
+        registry = registry if registry is not None else obs.metrics()
+        registry.counter("serve.session.served_total").value = self.served
+        registry.counter("serve.cache.hits_total").value = self.cache_hits
+        if self.cache is not None:
+            cache_stats = self.cache.stats()
+            registry.counter("serve.cache.misses_total").value = cache_stats[
+                "misses"
+            ]
+            registry.counter("serve.cache.evictions_total").value = cache_stats[
+                "evictions"
+            ]
+            registry.gauge("serve.cache.size").set(cache_stats["size"])
 
     # ------------------------------------------------------------------
     # The recycled-buffer compute path

@@ -11,7 +11,13 @@ Control lines start with ``!`` and never reach the clustering path:
 
 ``!stats``
     One JSON object describing the serving tier (worker routing counts,
-    restarts, generation, degradation state).
+    restarts -- per worker and ``restarts_total`` --, generation,
+    degradation state, and each worker's ``lru`` hit/miss block).
+``!metrics``
+    One JSON metrics snapshot -- the front end's registry merged with
+    every worker's (request latency histograms, cache hit/miss/eviction
+    counters, restart and degradation totals); see
+    :func:`repro.obs.metrics.merge_snapshots` for the merge contract.
 ``!invalidate``
     Bump the server's artifact generation: every worker reloads the
     artifact before answering its next request.  Acked with

@@ -17,6 +17,14 @@ either the complete old or the complete new artifact, and the front end
 only bumps the generation after the swap is durable, so every answer at
 generation ``g`` reflects the artifact as of ``g``.
 
+Observability contract: a forked worker inherits the parent's registry and
+tracer, so the first statement is ``obs.reset()`` -- otherwise every worker
+would re-count the front end's metrics and interleave writes into its trace
+file.  When the front end traces to ``PATH``, each worker traces to
+``PATH.worker<id>``; the ``("metrics", request_id)`` message syncs the
+session's counters into the worker registry and replies with a snapshot,
+which the front end merges for ``!metrics``.
+
 The request entry is a registered fault site (``serve.worker.request``), so
 the deterministic fault harness can kill or wedge a specific worker
 mid-traffic to drive the restart/degradation paths.
@@ -26,6 +34,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from .. import obs
 from ..testing.faults import fault_point
 from . import wire
 
@@ -41,6 +50,7 @@ def worker_main(
     cache_size: int = 256,
     deterministic: bool = False,
     generation: int = 0,
+    trace_path: str | None = None,
 ) -> None:
     """Request loop of one serving worker; runs until ``stop`` or EOF.
 
@@ -52,10 +62,18 @@ def worker_main(
         request rejected by validation.
     ``("stats", request_id)``
         Replies ``("ok", request_id, session_stats_dict)``.
+    ``("metrics", request_id)``
+        Replies ``("ok", request_id, registry_snapshot_dict)`` after
+        syncing the session's counters into the worker's registry.
     ``("stop",)``
         Clean shutdown.
     """
     from ..core.index import ScanIndex
+
+    # Shed the forked-in parent observability state before anything else.
+    obs.reset()
+    if trace_path is not None:
+        obs.configure(trace_path)
 
     try:
         index = ScanIndex.load(artifact_path)
@@ -65,35 +83,68 @@ def worker_main(
         finally:
             raise SystemExit(EXIT_BAD_ARTIFACT)
     session = index.session(cache_size=cache_size)
+    reloads = obs.counter("serve.worker.reloads_total")
 
-    while True:
-        try:
-            message = connection.recv()
-        except EOFError:
-            return
-        kind = message[0]
-        if kind == "stop":
-            return
-        if kind == "stats":
-            _, request_id = message
-            stats = dict(session.stats())
-            stats["generation"] = generation
-            connection.send(("ok", request_id, stats))
-            continue
-        _, request_id, request_generation, mu, epsilon = message
-        # Fault site: chaos tests arm kills/crashes here to exercise the
-        # front end's restart and degradation contract.
-        fault_point("serve.worker.request", task=worker_id)
-        if request_generation != generation:
-            # The artifact was updated (or explicitly invalidated) after we
-            # loaded: remap it.  Reload, do not repair -- the artifact on
-            # disk is always a complete committed build.
-            index = ScanIndex.load(artifact_path)
-            session = index.session(cache_size=cache_size)
-            generation = request_generation
-        try:
-            result = session.serve(mu, epsilon, deterministic_borders=deterministic)
-        except ValueError as error:
-            connection.send(("error", request_id, str(error)))
-            continue
-        connection.send(("ok", request_id, wire.format_response(result)))
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except EOFError:
+                return
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "stats":
+                _, request_id = message
+                stats = dict(session.stats())
+                stats["generation"] = generation
+                connection.send(("ok", request_id, stats))
+                continue
+            if kind == "metrics":
+                _, request_id = message
+                session.sync_metrics()
+                connection.send(("ok", request_id, obs.metrics().snapshot()))
+                continue
+            _, request_id, request_generation, mu, epsilon = message
+            # Fault site: chaos tests arm kills/crashes here to exercise the
+            # front end's restart and degradation contract.
+            fault_point("serve.worker.request", task=worker_id)
+            if request_generation != generation:
+                # The artifact was updated (or explicitly invalidated) after
+                # we loaded: remap it.  Reload, do not repair -- the artifact
+                # on disk is always a complete committed build.
+                index = ScanIndex.load(artifact_path)
+                session = index.session(cache_size=cache_size)
+                reloads.inc()
+                obs.event(
+                    "serve.worker.reload",
+                    worker=worker_id,
+                    generation=request_generation,
+                )
+                generation = request_generation
+            try:
+                if obs.on():
+                    with obs.span(
+                        "serve.worker.request", worker=worker_id, mu=mu
+                    ) as request_span:
+                        result = session.serve(
+                            mu, epsilon, deterministic_borders=deterministic
+                        )
+                        request_span.attrs["cache"] = (
+                            "hit" if result.from_cache else "miss"
+                        )
+                else:
+                    result = session.serve(
+                        mu, epsilon, deterministic_borders=deterministic
+                    )
+            except ValueError as error:
+                connection.send(("error", request_id, str(error)))
+                continue
+            connection.send(("ok", request_id, wire.format_response(result)))
+    finally:
+        # Close out the worker's trace (clean stop or EOF after a parent
+        # crash): sync the session counters and write the final snapshot so
+        # a per-worker trace file is self-contained like the front end's.
+        if obs.on():
+            session.sync_metrics()
+        obs.finalise()

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import os
 import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..core.core_order import CoreOrder
 from ..core.index import ScanIndex
 from ..core.neighbor_order import NeighborOrder
@@ -221,20 +223,25 @@ class IndexArtifact:
         """
         directory = Path(path)
         directory.parent.mkdir(parents=True, exist_ok=True)
-        clean_stale_scratch(directory)
-        scratch = scratch_path(directory)
-        scratch.mkdir()
-        try:
-            write_columns(scratch, self.columns)
-            write_header(scratch, self.meta)
-            fsync_scratch(scratch)
-            commit_artifact(scratch, directory)
-        except Exception:
-            # Ordinary failures (disk full, permission) tidy their staging;
-            # simulated crashes are BaseExceptions and leave the torn state
-            # on disk exactly as a real death would.
-            shutil.rmtree(scratch, ignore_errors=True)
-            raise
+        started = time.perf_counter()
+        with obs.span(
+            "storage.save", columns=len(self.columns), bytes=self.nbytes()
+        ):
+            clean_stale_scratch(directory)
+            scratch = scratch_path(directory)
+            scratch.mkdir()
+            try:
+                write_columns(scratch, self.columns)
+                write_header(scratch, self.meta)
+                fsync_scratch(scratch)
+                commit_artifact(scratch, directory)
+            except Exception:
+                # Ordinary failures (disk full, permission) tidy their
+                # staging; simulated crashes are BaseExceptions and leave the
+                # torn state on disk exactly as a real death would.
+                shutil.rmtree(scratch, ignore_errors=True)
+                raise
+        obs.histogram("storage.save_seconds").observe(time.perf_counter() - started)
         return directory
 
     @classmethod
@@ -264,14 +271,17 @@ class IndexArtifact:
         stored bytes fail their checksums or recovery is unsafe.
         """
         directory = Path(path)
-        if not directory.exists():
-            recover_artifact(directory)
-        header = read_header(directory)
-        columns = read_columns(directory, mmap_mode=mmap_mode)
-        validate_columns(header, columns)
-        check_column_shapes(header, columns, directory)
-        if verify:
-            verify_checksums(header, columns, context=str(directory))
+        started = time.perf_counter()
+        with obs.span("storage.load", verify=verify):
+            if not directory.exists():
+                recover_artifact(directory)
+            header = read_header(directory)
+            columns = read_columns(directory, mmap_mode=mmap_mode)
+            validate_columns(header, columns)
+            check_column_shapes(header, columns, directory)
+            if verify:
+                verify_checksums(header, columns, context=str(directory))
+        obs.histogram("storage.load_seconds").observe(time.perf_counter() - started)
         return cls(columns=columns, meta=header)
 
     # ------------------------------------------------------------------

@@ -47,12 +47,14 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..testing.faults import fault_point
 from .format import (
     COLUMNS_FILE,
@@ -341,6 +343,8 @@ def recover_artifact(path: str | Path) -> str | None:
     os.replace(backup, directory)
     fsync_directory(directory.parent)
     clean_stale_scratch(directory, backups=True)
+    obs.counter("storage.recoveries_total").inc()
+    obs.event("storage.recovered", backup=backup.name)
     return "rolled-back"
 
 
@@ -408,17 +412,20 @@ def verify_artifact(path: str | Path, *, deep: bool = False,
     the CLI renders as clean operator errors.
     """
     directory = Path(path)
-    recovered = recover_artifact(directory) if recover else None
-    header = read_header(directory)
-    columns = read_columns(directory, mmap_mode="r")
-    validate_columns(header, columns)
-    check_column_shapes(header, columns, directory)
-    recorded = sum(
-        1 for spec in header["columns"].values() if spec.get("crc32") is not None
-    )
-    checked = 0
-    if deep:
-        checked = verify_checksums(header, columns, context=str(directory))
+    started = time.perf_counter()
+    with obs.span("storage.verify", deep=deep):
+        recovered = recover_artifact(directory) if recover else None
+        header = read_header(directory)
+        columns = read_columns(directory, mmap_mode="r")
+        validate_columns(header, columns)
+        check_column_shapes(header, columns, directory)
+        recorded = sum(
+            1 for spec in header["columns"].values() if spec.get("crc32") is not None
+        )
+        checked = 0
+        if deep:
+            checked = verify_checksums(header, columns, context=str(directory))
+    obs.histogram("storage.verify_seconds").observe(time.perf_counter() - started)
     return VerifyReport(
         path=str(directory),
         version=int(header["version"]),

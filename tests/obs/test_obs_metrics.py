@@ -1,0 +1,152 @@
+"""Unit tests for the zero-dependency metrics registry (`obs/metrics.py`).
+
+The contracts: counters and gauges are exact; histograms bucket by
+``bisect`` into fixed bounds with interpolated quantiles; registries
+deduplicate by name and refuse silently-different bounds; and
+``merge_snapshots`` is a pure function whose result is sorted, additive,
+and never aliases its inputs (the serving front end merges worker
+snapshots on every ``!metrics`` line, so an impure merge would
+double-count on repeats).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BOUNDS,
+    SIZE_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_buckets_and_totals(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(555.5)
+        assert histogram.counts == [1, 1, 1, 1]
+
+    def test_histogram_boundary_value_lands_left(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_quantiles_interpolate(self):
+        histogram = Histogram(bounds=(0.0, 10.0, 20.0))
+        for _ in range(100):
+            histogram.observe(5.0)
+        # All mass in (0, 10]: the median interpolates inside that bucket.
+        assert 0.0 < histogram.quantile(0.5) <= 10.0
+        assert histogram.quantile(0.0) <= histogram.quantile(0.99)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram(bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_summary_shape(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(1.5)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "bounds", "counts", "count", "sum", "mean", "p50", "p99"
+        }
+        assert len(summary["counts"]) == len(summary["bounds"]) + 1
+
+    def test_default_bounds_cover_latency_and_size_ranges(self):
+        assert LATENCY_BOUNDS[0] < 1e-5 and LATENCY_BOUNDS[-1] >= 32.0
+        assert SIZE_BOUNDS[0] == 1.0 and SIZE_BOUNDS[-1] >= 4 ** 15
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_bounds_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc(2)
+        registry.gauge("mid.gauge").set(1.5)
+        registry.histogram("lat").observe(0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.first", "z.last"]
+        json.dumps(snapshot)  # must round-trip without a custom encoder
+
+
+class TestMerge:
+    def _snapshot(self, served, latencies):
+        registry = MetricsRegistry()
+        registry.counter("served").inc(served)
+        registry.gauge("size").set(served)
+        histogram = registry.histogram("lat")
+        for value in latencies:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_merge_adds_everything(self):
+        merged = merge_snapshots(
+            self._snapshot(3, [0.01, 0.02]), self._snapshot(5, [0.04])
+        )
+        assert merged["counters"]["served"] == 8
+        assert merged["gauges"]["size"] == 8
+        assert merged["histograms"]["lat"]["count"] == 3
+        assert merged["histograms"]["lat"]["sum"] == pytest.approx(0.07)
+
+    def test_merge_is_pure(self):
+        base = self._snapshot(3, [0.01])
+        other = self._snapshot(5, [0.02])
+        base_bytes = json.dumps(base, sort_keys=True)
+        other_bytes = json.dumps(other, sort_keys=True)
+        merge_snapshots(base, other)
+        assert json.dumps(base, sort_keys=True) == base_bytes
+        assert json.dumps(other, sort_keys=True) == other_bytes
+
+    def test_merge_disjoint_names_unions(self):
+        base = MetricsRegistry()
+        base.counter("only.base").inc()
+        other = MetricsRegistry()
+        other.counter("only.other").inc(2)
+        merged = merge_snapshots(base.snapshot(), other.snapshot())
+        assert merged["counters"] == {"only.base": 1, "only.other": 2}
+
+    def test_merge_refuses_mismatched_bounds(self):
+        base = MetricsRegistry()
+        base.histogram("h", (1.0, 2.0)).observe(1.5)
+        other = MetricsRegistry()
+        other.histogram("h", (1.0, 3.0)).observe(1.5)
+        with pytest.raises(MetricsError):
+            merge_snapshots(base.snapshot(), other.snapshot())
+
+    def test_merge_is_associative_on_counts(self):
+        # Binary-exact latencies: the property under test is the merge
+        # arithmetic, not float addition order.
+        parts = [self._snapshot(i + 1, [0.25 * (i + 1)]) for i in range(3)]
+        left = merge_snapshots(merge_snapshots(parts[0], parts[1]), parts[2])
+        right = merge_snapshots(parts[0], merge_snapshots(parts[1], parts[2]))
+        assert json.dumps(left, sort_keys=True) == json.dumps(right, sort_keys=True)

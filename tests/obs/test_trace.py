@@ -1,0 +1,151 @@
+"""Tests for the tracer (`obs/trace.py`) and event schema (`obs/schema.py`).
+
+The tracer's contract is byte-stability under an injected clock: the same
+code under the same fake clock emits the same JSONL bytes forever (the
+golden test below pins them).  Every emitted line must satisfy the closed
+schema, numpy attribute values included, and the null tracer must cost
+nothing and write nothing.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.schema import TraceSchemaError, validate_event, validate_trace_path
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class FakeClock:
+    """Deterministic clock advancing by a fixed step per reading."""
+
+    def __init__(self, step: float = 0.25) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        reading, self.now = self.now, self.now + self.step
+        return reading
+
+
+def make_tracer():
+    sink = io.StringIO()
+    return Tracer(sink, clock=FakeClock()), sink
+
+
+class TestTracer:
+    def test_golden_bytes_under_fake_clock(self):
+        tracer, sink = make_tracer()
+        with tracer.span("build.similarities", edges=12):
+            pass
+        tracer.event("serve.degraded", reason="spawn")
+        tracer.snapshot("final", {"counters": {}, "gauges": {}, "histograms": {}})
+        assert sink.getvalue() == (
+            '{"attrs": {"edges": 12}, "dur": 0.25, "kind": "span",'
+            ' "name": "build.similarities", "ts": 0.0}\n'
+            '{"attrs": {"reason": "spawn"}, "kind": "event",'
+            ' "name": "serve.degraded", "ts": 0.5}\n'
+            '{"kind": "snapshot", "metrics": {"counters": {}, "gauges": {},'
+            ' "histograms": {}}, "name": "final", "ts": 0.75}\n'
+        )
+        assert tracer.events_written == 3
+
+    def test_span_attrs_mutable_inside_region(self):
+        tracer, sink = make_tracer()
+        with tracer.span("serve.worker.request", worker=0) as span:
+            span.attrs["cache"] = "hit"
+        line = json.loads(sink.getvalue())
+        assert line["attrs"] == {"cache": "hit", "worker": 0}
+
+    def test_numpy_attrs_coerce_to_json_scalars(self):
+        tracer, sink = make_tracer()
+        tracer.event(
+            "dynamic.apply_updates",
+            affected=np.int64(7),
+            seconds=np.float64(0.125),
+        )
+        line = json.loads(sink.getvalue())
+        assert line["attrs"] == {"affected": 7, "seconds": 0.125}
+        assert isinstance(line["attrs"]["affected"], int)
+
+    def test_every_emitted_line_validates(self):
+        tracer, sink = make_tracer()
+        with tracer.span("a.region", size=np.int32(3)):
+            pass
+        tracer.event("b.moment")
+        tracer.snapshot("final", {"counters": {"x.total": 1}})
+        for line in sink.getvalue().splitlines():
+            validate_event(json.loads(line))
+
+    def test_to_path_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "trace.jsonl"
+        tracer = Tracer.to_path(path, clock=FakeClock())
+        tracer.event("a.b")
+        tracer.close()
+        counts = validate_trace_path(path)
+        assert counts == {"span": 0, "event": 1, "snapshot": 0}
+
+    def test_null_tracer_is_silent_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", key="value")
+        with span as entered:
+            entered.attrs["dropped"] = True  # must vanish, not accumulate
+        assert NULL_TRACER.span("other") is span
+        assert span.attrs == {}
+        NULL_TRACER.event("ignored")
+        NULL_TRACER.snapshot("ignored", {})
+        assert NULL_TRACER.events_written == 0
+
+
+class TestSchema:
+    def _valid_span(self):
+        return {"kind": "span", "name": "a.b", "ts": 0.0, "dur": 0.1}
+
+    def test_accepts_minimal_kinds(self):
+        assert validate_event(self._valid_span()) == "span"
+        assert validate_event({"kind": "event", "name": "x", "ts": 1}) == "event"
+        assert validate_event(
+            {"kind": "snapshot", "name": "final", "ts": 1, "metrics": {}}
+        ) == "snapshot"
+
+    @pytest.mark.parametrize("mutation", [
+        {"kind": "mystery"},
+        {"name": "Not.Lower"},
+        {"name": "trailing."},
+        {"ts": -1.0},
+        {"ts": float("nan")},
+        {"dur": True},
+        {"extra_key": 1},
+        {"attrs": {"nested": {"not": "scalar"}}},
+    ])
+    def test_rejects_bad_fields(self, mutation):
+        event = {**self._valid_span(), **mutation}
+        with pytest.raises(TraceSchemaError):
+            validate_event(event)
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(TraceSchemaError, match="missing"):
+            validate_event({"kind": "span", "name": "a", "ts": 0.0})
+
+    def test_snapshot_histogram_shape_enforced(self):
+        bad = {
+            "kind": "snapshot", "name": "final", "ts": 0,
+            "metrics": {"histograms": {"h": {
+                "bounds": [1.0], "counts": [1], "count": 1, "sum": 1.0,
+            }}},
+        }
+        with pytest.raises(TraceSchemaError, match="length mismatch"):
+            validate_event(bad)
+
+    def test_trace_path_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"kind": "event", "name": "ok.line", "ts": 0}\nnot json\n')
+        with pytest.raises(TraceSchemaError, match=":2"):
+            validate_trace_path(path)
+
+    def test_blank_line_rejected(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text('{"kind": "event", "name": "ok.line", "ts": 0}\n\n')
+        with pytest.raises(TraceSchemaError):
+            validate_trace_path(path)
