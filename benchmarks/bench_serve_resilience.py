@@ -1,0 +1,321 @@
+"""Serving-tier overload benchmark: shed rate and tail latency at 2x saturation.
+
+Not a figure of the paper -- this measures the resilience contract of the
+concurrent serving tier (:mod:`repro.serve.server`): a ``repro serve``
+subprocess started with a deliberately small ``--max-inflight`` high-water
+mark, hammered by **twice** that many concurrent client connections.  Past
+the mark the server must answer ``error: overloaded (shed)`` immediately
+instead of queueing unboundedly, so the numbers that matter are:
+
+* the **shed rate** -- how much of the offered 2x load was refused, and
+* the **p50/p99 latency of the accepted requests** -- admission control
+  exists precisely so the accepted tail stays flat while the excess is
+  turned away at the door.
+
+Every response must be accounted for: bit-identical to a single in-process
+session (``cache=`` field stripped), or the structured shed refusal.  A
+transport error, a hung connection, or an unexplained answer fails the run
+-- that is the chaos-acceptance bar of the resilience PR, measured rather
+than mocked.
+
+The environment block records the container's CPU count: on a single-CPU
+box the offered concurrency still exceeds the admission mark, so the shed
+path is exercised honestly even though throughput numbers are modest.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_resilience.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve_resilience.py --smoke   # CI
+
+or through pytest (smoke-sized, asserts full accounting)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_resilience.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ScanIndex
+from repro.bench import capture_environment, format_table
+from repro.bench.recording import add_record_argument, record_payload
+from repro.graphs import planted_partition
+from repro.serve import ServeClient
+from repro.serve import wire
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve_resilience.json"
+
+#: (num_clusters, cluster_size, p_intra, p_inter) of the served graph.
+FULL_GRAPH = (25, 50, 0.30, 0.006)
+SMOKE_GRAPH = (4, 20, 0.30, 0.02)
+
+#: ``(max_inflight, workers)`` admission configs; clients = 2x max_inflight.
+FULL_CONFIGS = ((4, 2), (8, 2))
+SMOKE_CONFIGS = ((2, 1), (4, 2))
+
+#: Distinct (mu, eps) settings and stream repeats (mirrors bench_serving.py).
+WORKLOAD_MUS = (2, 3, 5, 8)
+WORKLOAD_EPSILONS = (0.3, 0.45, 0.6, 0.75)
+FULL_REPEATS = 8
+SMOKE_REPEATS = 2
+
+_BANNER = re.compile(r"listening on ([0-9.]+):(\d+) \((\d+) workers?\)")
+SHED_LINE = wire.format_error("overloaded (shed)")
+
+#: Seconds to wait for the server banner / subprocess exit.
+STARTUP_TIMEOUT = 60.0
+
+
+def request_stream(repeats: int, seed: int = 0) -> list[tuple[int, float]]:
+    """A seeded repeated-workload stream over the distinct settings grid."""
+    distinct = [(mu, eps) for mu in WORKLOAD_MUS for eps in WORKLOAD_EPSILONS]
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(distinct), size=repeats * len(distinct))
+    return [distinct[p] for p in picks.tolist()]
+
+
+def reference_responses(
+    artifact_path: Path, stream: list[tuple[int, float]]
+) -> list[str]:
+    """The single-session answers, formatted exactly as the server replies."""
+    session = ScanIndex.load(artifact_path).session()
+    return [
+        wire.strip_cache_field(
+            wire.format_response(
+                session.serve(mu, epsilon, deterministic_borders=True)
+            )
+        )
+        for mu, epsilon in stream
+    ]
+
+
+def start_server(
+    artifact_path: Path, workers: int, max_inflight: int
+) -> tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve`` with a small admission mark; parse the banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(artifact_path),
+            "--port", "0", "--workers", str(workers), "--deterministic",
+            "--max-inflight", str(max_inflight),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    banner = process.stderr.readline()
+    match = _BANNER.search(banner or "")
+    if match is None or time.monotonic() > deadline:
+        process.terminate()
+        process.wait(timeout=STARTUP_TIMEOUT)
+        raise RuntimeError(f"server failed to start (banner: {banner!r})")
+    return process, match.group(1), int(match.group(2))
+
+
+def _overload_slice(
+    host: str,
+    port: int,
+    requests: list[str],
+    expected: list[str],
+    latencies: list[float],
+    tallies: dict,
+) -> None:
+    """One client hammering its slice; every response lands in a tally.
+
+    ``tallies`` gains ``shed`` (structured refusals), ``mismatched``
+    (answers matching neither the reference nor the shed line) and
+    ``transport_errors`` (a :class:`ServeClientError` -- the bar says this
+    must never happen: overload is answered, not dropped).
+    """
+    shed = mismatched = 0
+    try:
+        with ServeClient(host, port) as client:
+            for line, want in zip(requests, expected):
+                started = time.perf_counter()
+                response = client.request(line)
+                elapsed = time.perf_counter() - started
+                if response == SHED_LINE:
+                    shed += 1
+                elif wire.strip_cache_field(response) == want:
+                    latencies.append(elapsed)
+                else:
+                    mismatched += 1
+    except ConnectionError:
+        tallies["transport_errors"] = tallies.get("transport_errors", 0) + 1
+    tallies["shed"] = shed
+    tallies["mismatched"] = mismatched
+
+
+def bench_config(
+    artifact_path: Path,
+    max_inflight: int,
+    workers: int,
+    stream: list[tuple[int, float]],
+    expected: list[str],
+) -> dict:
+    """Offer 2x ``max_inflight`` concurrent clients to one small server."""
+    clients = 2 * max_inflight
+    process, host, port = start_server(artifact_path, workers, max_inflight)
+    try:
+        request_lines = [f"{mu}:{epsilon:g}" for mu, epsilon in stream]
+        threads = []
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        tallies: list[dict] = [{} for _ in range(clients)]
+        for c in range(clients):
+            threads.append(threading.Thread(
+                target=_overload_slice,
+                args=(host, port, request_lines[c::clients],
+                      expected[c::clients], latencies[c], tallies[c]),
+            ))
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=STARTUP_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+    succeeded = [lat for per_client in latencies for lat in per_client]
+    shed = sum(t.get("shed", 0) for t in tallies)
+    mismatched = sum(t.get("mismatched", 0) for t in tallies)
+    transport_errors = sum(t.get("transport_errors", 0) for t in tallies)
+    offered = len(stream)
+    unanswered = offered - len(succeeded) - shed - mismatched
+    return {
+        "max_inflight": max_inflight,
+        "workers": workers,
+        "clients": clients,
+        "offered_requests": offered,
+        "succeeded": len(succeeded),
+        "shed": shed,
+        "shed_rate": shed / max(offered, 1),
+        "mismatching_responses": mismatched,
+        "transport_errors": transport_errors,
+        "unanswered": unanswered,
+        "seconds": seconds,
+        "accepted_per_second": len(succeeded) / max(seconds, 1e-12),
+        "p50_seconds": float(np.percentile(succeeded, 50)) if succeeded else None,
+        "p99_seconds": float(np.percentile(succeeded, 99)) if succeeded else None,
+    }
+
+
+def run(graph_spec, configs, repeats: int, output: Path | None) -> dict:
+    """Benchmark every admission config over one artifact; optionally write JSON."""
+    num_clusters, cluster_size, p_intra, p_inter = graph_spec
+    graph = planted_partition(
+        num_clusters, cluster_size, p_intra=p_intra, p_inter=p_inter, seed=0
+    )
+    index = ScanIndex.build(graph)
+    stream = request_stream(repeats)
+    with tempfile.TemporaryDirectory() as scratch:
+        artifact_path = Path(scratch) / "index.scanidx"
+        index.save(artifact_path)
+        expected = reference_responses(artifact_path, stream)
+        records = [
+            bench_config(artifact_path, max_inflight, workers, stream, expected)
+            for max_inflight, workers in configs
+        ]
+    results = {
+        "benchmark": "serve_resilience",
+        "environment": capture_environment(),
+        "graph": {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "num_arcs": graph.num_arcs,
+        },
+        "overload_configs": records,
+    }
+    rows = [
+        [
+            record["max_inflight"],
+            record["clients"],
+            record["offered_requests"],
+            record["succeeded"],
+            record["shed"],
+            round(record["shed_rate"], 3),
+            round(record["p50_seconds"] * 1e3, 3) if record["p50_seconds"] else "-",
+            round(record["p99_seconds"] * 1e3, 3) if record["p99_seconds"] else "-",
+            record["mismatching_responses"] + record["transport_errors"]
+            + record["unanswered"],
+        ]
+        for record in records
+    ]
+    print(format_table(
+        ["inflight", "clients", "offered", "ok", "shed", "shed_rate",
+         "p50_ms", "p99_ms", "violations"],
+        rows,
+    ))
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    return results
+
+
+def test_serve_resilience_smoke(tmp_path):
+    """Smoke run: every offered request is answered -- served or shed."""
+    results = run(
+        SMOKE_GRAPH, SMOKE_CONFIGS, SMOKE_REPEATS,
+        tmp_path / "BENCH_serve_resilience.json",
+    )
+    assert (tmp_path / "BENCH_serve_resilience.json").exists()
+    assert len(results["overload_configs"]) >= 2
+    for record in results["overload_configs"]:
+        # The accounting identity of the shedding contract: nothing hangs,
+        # nothing is dropped, nothing is wrong -- only served or refused.
+        assert record["mismatching_responses"] == 0
+        assert record["transport_errors"] == 0
+        assert record["unanswered"] == 0
+        assert record["succeeded"] + record["shed"] == record["offered_requests"]
+        if record["succeeded"]:
+            assert record["p50_seconds"] <= record["p99_seconds"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny graph, fewer configs")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    add_record_argument(parser, REPO_ROOT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        results = run(SMOKE_GRAPH, SMOKE_CONFIGS, SMOKE_REPEATS, args.output)
+    else:
+        results = run(FULL_GRAPH, FULL_CONFIGS, FULL_REPEATS, args.output)
+    if args.record is not None:
+        record_payload(args.record, results, source="bench_serve_resilience.py",
+                       smoke=args.smoke)
+    failures = 0
+    for record in results["overload_configs"]:
+        violations = (record["mismatching_responses"]
+                      + record["transport_errors"] + record["unanswered"])
+        if violations:
+            print(f"ERROR: {violations} unaccounted responses at "
+                  f"max_inflight={record['max_inflight']}")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,6 +125,7 @@ _ELEMENT_ID_KEYS = {
     "order_microbench": "order",
     "batches": "fraction",
     "configs": "workers",
+    "overload_configs": "max_inflight",
 }
 
 

@@ -347,8 +347,15 @@ def _parse_request(line: str) -> tuple[int, float]:
 
 
 def _serve_network(args: argparse.Namespace) -> int:
-    """The concurrent serving tier behind ``repro serve --port``."""
+    """The concurrent serving tier behind ``repro serve --port``.
+
+    SIGTERM triggers a graceful drain: the listener closes, in-flight
+    requests finish inside the drain deadline, worker metric snapshots are
+    flushed, and the process exits 0 -- the contract a supervisor
+    (systemd, Kubernetes) relies on for zero-dropped-request restarts.
+    """
     import asyncio
+    import signal
 
     from .serve.server import ClusterServer
 
@@ -356,15 +363,32 @@ def _serve_network(args: argparse.Namespace) -> int:
     if index is None:
         return 2
     del index  # validation only; the server and workers mmap it themselves
+    overrides = {
+        name: value
+        for name, value in (
+            ("request_deadline", args.deadline),
+            ("max_inflight", args.max_inflight),
+            ("max_queue_depth", args.max_queue_depth),
+            ("drain_deadline", args.drain_deadline),
+            ("probe_interval", args.probe_interval),
+        )
+        if value is not None
+    }
     server = ClusterServer(
         args.artifact,
         workers=args.workers,
         cache_size=args.cache_size,
         deterministic=args.deterministic,
+        **overrides,
     )
 
     async def run() -> None:
         host, port = await server.start(args.host, args.port)
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, server.request_drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without signal handler support still serve
         print(
             f"listening on {host}:{port} ({server.num_workers} workers)",
             file=sys.stderr,
@@ -372,15 +396,57 @@ def _serve_network(args: argparse.Namespace) -> int:
         )
         try:
             await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        except asyncio.CancelledError:
+            # serve_forever is cancelled when the listener closes -- which
+            # is exactly what a drain (SIGTERM or !drain) does first.
             pass
         finally:
+            if server._drain_task is not None:
+                await server._drain_task
+                print(
+                    f"drained: served {server.served} requests, exiting",
+                    file=sys.stderr,
+                )
             await server.close()
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _command_serve_client(args: argparse.Namespace) -> int:
+    """Replay request lines against a running server (``repro serve-client``)."""
+    from .serve.client import ServeClient, ServeClientError
+
+    host, separator, port_text = args.address.rpartition(":")
+    if not separator or not port_text.isdigit():
+        print(f"error: expected HOST:PORT, got {args.address!r}", file=sys.stderr)
+        return 2
+    if args.requests is not None:
+        try:
+            stream: TextIO = open(args.requests)
+        except OSError as error:
+            print(f"error: cannot read requests from {args.requests!r}: {error}",
+                  file=sys.stderr)
+            return 2
+    else:
+        stream = sys.stdin
+    try:
+        with ServeClient(host, int(port_text), timeout=args.timeout,
+                         retries=args.retries) as client:
+            for line in stream:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                print(client.request(stripped), flush=True)
+    except ServeClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
     return 0
 
 
@@ -869,8 +935,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --port mode, each holding "
                             "a session over the same mmapped artifact "
                             "(default: 1)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="per-request deadline before dispatch hedges to "
+                            "the next worker (--port mode; default: 5)")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="concurrent-request high-water mark; past it "
+                            "requests answer 'error: overloaded (shed)' "
+                            "(--port mode; default: 64)")
+    serve.add_argument("--max-queue-depth", type=int, default=None, metavar="N",
+                       help="outstanding requests allowed per worker pipe "
+                            "before it is skipped (--port mode; default: 8)")
+    serve.add_argument("--drain-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="seconds granted to in-flight requests on SIGTERM "
+                            "or !drain (--port mode; default: 5)")
+    serve.add_argument("--probe-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="first recovery-probe delay while degraded, "
+                            "doubling per failed probe (--port mode; "
+                            "default: 1)")
     add_trace_argument(serve)
     serve.set_defaults(handler=_command_serve)
+
+    serve_client = subparsers.add_parser(
+        "serve-client",
+        help="replay MU:EPSILON request lines against a running serve --port "
+             "server",
+    )
+    serve_client.add_argument("address", metavar="HOST:PORT",
+                              help="address of a running 'repro serve --port' "
+                                   "server")
+    serve_client.add_argument("--requests", metavar="FILE", default=None,
+                              help="newline-delimited request lines "
+                                   "(default: read from stdin)")
+    serve_client.add_argument("--timeout", type=float, default=60.0,
+                              metavar="SECONDS",
+                              help="socket timeout per request (default: 60)")
+    serve_client.add_argument("--retries", type=int, default=0, metavar="N",
+                              help="reconnect-and-resend attempts for "
+                                   "idempotent requests; control lines are "
+                                   "never retried (default: 0)")
+    serve_client.set_defaults(handler=_command_serve_client)
 
     obs_parser = subparsers.add_parser(
         "obs", help="validate and report JSONL traces written with --trace"

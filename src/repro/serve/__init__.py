@@ -27,7 +27,7 @@ for the steady-state and tail-latency numbers (``BENCH_serving.json``,
 """
 
 from .cache import ResultCache
-from .client import ServeClient, replay
+from .client import ServeClient, ServeClientError, replay
 from .server import ClusterServer, DegradedServingWarning, route
 from .session import ClusterSession, CompactLabels, ServedResult
 from .snapping import EpsilonSnapper
@@ -40,6 +40,7 @@ __all__ = [
     "EpsilonSnapper",
     "ResultCache",
     "ServeClient",
+    "ServeClientError",
     "ServedResult",
     "replay",
     "route",

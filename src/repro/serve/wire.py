@@ -22,9 +22,18 @@ Control lines start with ``!`` and never reach the clustering path:
     Bump the server's artifact generation: every worker reloads the
     artifact before answering its next request.  Acked with
     ``invalidated generation=G``.
+``!drain``
+    Begin a graceful drain: stop accepting connections, let in-flight
+    requests finish inside the drain deadline, flush worker metric
+    snapshots, shut the pool down.  Acked with ``draining deadline=S``.
 
 Errors are reported inline as ``error: <reason>`` lines (the stdin loop
-prints them to stderr instead; a socket has only one channel back).
+prints them to stderr instead; a socket has only one channel back).  Two
+structured reasons are part of the protocol: ``error: overloaded (shed)``
+(admission control refused the request; retry later or elsewhere) and
+``error: request line too long`` (the request exceeded the 64 KiB line
+limit; the connection survives).  Control lines bypass admission control,
+so an overloaded server still answers ``!stats``/``!metrics``/``!drain``.
 """
 
 from __future__ import annotations

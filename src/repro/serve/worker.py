@@ -112,7 +112,10 @@ def worker_main(
             if request_generation != generation:
                 # The artifact was updated (or explicitly invalidated) after
                 # we loaded: remap it.  Reload, do not repair -- the artifact
-                # on disk is always a complete committed build.
+                # on disk is always a complete committed build.  Fault site:
+                # chaos kills/wedges the reload to prove a generation flip
+                # cannot strand a request.
+                fault_point("serve.worker.reload", task=worker_id)
                 index = ScanIndex.load(artifact_path)
                 session = index.session(cache_size=cache_size)
                 reloads.inc()

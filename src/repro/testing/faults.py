@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -83,9 +84,22 @@ FAULT_SITES = {
     # parallel/: the supervised executor (see parallel/supervise.py)
     "parallel.worker.task": "worker task entry (arm action='kill' with task=j)",
     "parallel.dispatch": "master-side task submission (transients)",
-    # serve/: the concurrent serving tier (see serve/worker.py)
+    # serve/: the concurrent serving tier (see serve/worker.py, serve/server.py)
     "serve.worker.request": "serving-worker request entry "
-                            "(arm action='kill' with task=worker_id)",
+                            "(arm action='kill' with task=worker_id, or "
+                            "action='hang' to wedge a worker mid-request)",
+    "serve.worker.reload": "serving-worker artifact reload on a generation "
+                           "bump (arm with task=worker_id)",
+    "serve.worker.spawn": "front-end worker fork, before the process starts "
+                          "(arm action='raise' with times=N to refuse the "
+                          "pool N times and drive the degrade→recover path)",
+    "serve.dispatch": "front-end dispatch, before a request is written to a "
+                      "worker pipe (arm action='raise' for transients)",
+    "serve.drain": "entry of the graceful-drain window, after draining "
+                   "starts and before in-flight requests are awaited",
+    "serve.recovery.probe": "each recovery-probe attempt while the pool is "
+                            "degraded (arm action='raise' to pin the "
+                            "circuit open)",
 }
 
 
@@ -130,7 +144,11 @@ class FaultSpec:
         ``"crash"`` raises :class:`SimulatedCrash` (process-death stand-in),
         ``"raise"`` raises the exception named by ``error`` (transient
         failure stand-in), ``"kill"`` calls ``os._exit(70)`` -- a *real*
-        process death for pool workers, no Python unwinding at all.
+        process death for pool workers, no Python unwinding at all --
+        and ``"hang"`` sleeps for ``seconds`` (default effectively
+        forever) before letting execution continue: the wedged-worker /
+        straggler stand-in that deadline and watchdog contracts are
+        proven against.
     after_bytes:
         For byte-counting write sites: trigger only once at least this many
         bytes have been written.  ``None`` triggers on first reach.
@@ -149,6 +167,11 @@ class FaultSpec:
     error:
         Exception type name for ``action="raise"`` (one of ``OSError``,
         ``MemoryError``, ``TimeoutError``).
+    seconds:
+        Sleep duration for ``action="hang"``.  ``None`` means 3600 s --
+        far beyond any supervision timeout, i.e. wedged for the purposes
+        of every contract under test, while still unwinding eventually if
+        the test harness itself leaks the process.
     """
 
     site: str
@@ -158,6 +181,7 @@ class FaultSpec:
     times: int | None = None
     token: str | None = None
     error: str = "OSError"
+    seconds: float | None = None
 
     def validate(self) -> None:
         if self.site not in FAULT_SITES:
@@ -165,7 +189,7 @@ class FaultSpec:
                 f"unknown fault site {self.site!r}; known sites: "
                 f"{sorted(FAULT_SITES)}"
             )
-        if self.action not in ("crash", "raise", "kill"):
+        if self.action not in ("crash", "raise", "kill", "hang"):
             raise FaultError(f"unknown fault action {self.action!r}")
         if self.action == "raise" and self.error not in _ERROR_TYPES:
             raise FaultError(
@@ -266,6 +290,9 @@ def fault_point(site: str, *, bytes_written: int | None = None,
             continue
         if spec.action == "kill":
             os._exit(70)
+        if spec.action == "hang":
+            time.sleep(spec.seconds if spec.seconds is not None else 3600.0)
+            continue
         if spec.action == "raise":
             raise _ERROR_TYPES[spec.error](
                 f"injected {spec.error} at fault point {site!r}"

@@ -36,8 +36,8 @@ def _count_numbers(value) -> int:
 # ----------------------------------------------------------------------
 # Round-trip of every committed benchmark artifact
 # ----------------------------------------------------------------------
-def test_the_repo_ships_all_six_artifacts():
-    assert len(BENCH_FILES) == 6
+def test_the_repo_ships_all_seven_artifacts():
+    assert len(BENCH_FILES) == 7
 
 
 @pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)

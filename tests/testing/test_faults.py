@@ -141,6 +141,28 @@ class TestTriggers:
             with pytest.raises(OSError):
                 fault_point("parallel.worker.task", task=3)
 
+    def test_hang_action_sleeps_then_continues(self, monkeypatch):
+        # A wedge is a delay, not a death: the reach sleeps the requested
+        # seconds and then falls through so the caller proceeds normally.
+        import repro.testing.faults as faults
+
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        with inject(FaultSpec(site="serve.worker.request", action="hang",
+                              seconds=0.25, times=1)):
+            fault_point("serve.worker.request")  # wedged, then returns
+            fault_point("serve.worker.request")  # spent: no second nap
+        assert naps == [0.25]
+
+    def test_hang_action_defaults_to_effectively_forever(self, monkeypatch):
+        import repro.testing.faults as faults
+
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        with inject(FaultSpec(site="serve.worker.request", action="hang")):
+            fault_point("serve.worker.request")
+        assert naps == [3600.0]
+
     def test_times_bounds_in_process_firings(self):
         with inject(FaultSpec(site="parallel.dispatch", action="raise",
                               times=2)):
